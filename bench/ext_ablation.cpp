@@ -1,0 +1,229 @@
+// Extension experiments X2/X3 - ablations over the design choices the paper
+// lists but does not evaluate:
+//   X2: member-affiliation rule (ID / distance / size-balanced) - effect on
+//       cluster size balance and on the downstream CDS.
+//   X3: election priority (lowest-ID / highest-degree / random timer) -
+//       effect on clusterhead count and CDS size.
+// All points use AC-LMST at N = 100, D = 6 over 50 shared topologies.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "khop/cluster/core_variant.hpp"
+#include "khop/cluster/kcluster.hpp"
+#include "khop/nbr/hierarchy.hpp"
+#include "khop/core/pipeline.hpp"
+#include "khop/exp/stats.hpp"
+#include "khop/exp/table.hpp"
+#include "khop/net/generator.hpp"
+
+namespace {
+
+using namespace khop;
+
+constexpr std::size_t kTrials = 50;
+
+AdHocNetwork make_net(std::uint64_t trial) {
+  GeneratorConfig gen;
+  gen.num_nodes = 100;
+  gen.target_degree = 6.0;
+  Rng rng(Rng(95000).spawn(trial));
+  return generate_network(gen, rng);
+}
+
+double cluster_size_stddev(const Clustering& c) {
+  RunningStats s;
+  for (std::uint32_t i = 0; i < c.num_clusters(); ++i) {
+    s.add(static_cast<double>(c.cluster_members(i).size()));
+  }
+  return s.stddev();
+}
+
+void affiliation_ablation(Hops k) {
+  std::cout << "X2 - affiliation rule ablation (k = " << k << ")\n";
+  TextTable t({"rule", "heads", "size stddev", "max size", "CDS size"});
+  for (const auto& [rule, name] :
+       {std::pair{AffiliationRule::kIdBased, "ID-based"},
+        std::pair{AffiliationRule::kDistanceBased, "distance"},
+        std::pair{AffiliationRule::kSizeBased, "size-balanced"}}) {
+    RunningStats heads, stddev, maxsize, cds;
+    for (std::uint64_t trial = 0; trial < kTrials; ++trial) {
+      const AdHocNetwork net = make_net(trial);
+      const Clustering c = khop_clustering(net.graph, k, rule);
+      const Backbone b = build_backbone(net.graph, c, Pipeline::kAcLmst);
+      heads.add(static_cast<double>(c.heads.size()));
+      stddev.add(cluster_size_stddev(c));
+      std::size_t biggest = 0;
+      for (std::uint32_t i = 0; i < c.num_clusters(); ++i) {
+        biggest = std::max(biggest, c.cluster_members(i).size());
+      }
+      maxsize.add(static_cast<double>(biggest));
+      cds.add(static_cast<double>(b.cds_size()));
+    }
+    t.add_row({name, fmt(heads.mean(), 1), fmt(stddev.mean(), 2),
+               fmt(maxsize.mean(), 1), fmt(cds.mean(), 1)});
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+void priority_ablation(Hops k) {
+  std::cout << "X3 - election priority ablation (k = " << k << ")\n";
+  TextTable t({"priority", "heads", "CDS size", "election rounds"});
+  for (const auto& [rule, name] :
+       {std::pair{PriorityRule::kLowestId, "lowest-ID"},
+        std::pair{PriorityRule::kHighestDegree, "highest-degree"},
+        std::pair{PriorityRule::kRandomTimer, "random-timer"}}) {
+    RunningStats heads, cds, rounds;
+    for (std::uint64_t trial = 0; trial < kTrials; ++trial) {
+      const AdHocNetwork net = make_net(trial);
+      Rng prio_rng(Rng(777).spawn(trial));
+      const auto prio =
+          make_priorities(net.graph, rule, nullptr,
+                          rule == PriorityRule::kRandomTimer ? &prio_rng
+                                                             : nullptr);
+      const Clustering c = khop_clustering(net.graph, k, prio);
+      const Backbone b = build_backbone(net.graph, c, Pipeline::kAcLmst);
+      heads.add(static_cast<double>(c.heads.size()));
+      cds.add(static_cast<double>(b.cds_size()));
+      rounds.add(static_cast<double>(c.election_rounds));
+    }
+    t.add_row({name, fmt(heads.mean(), 1), fmt(cds.mean(), 1),
+               fmt(rounds.mean(), 1)});
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+void keep_rule_ablation(Hops k) {
+  std::cout << "X2b - LMST keep-rule ablation (k = " << k
+            << "): union (paper) vs intersection (G0 cap G1)\n";
+  TextTable t({"selection", "keep rule", "kept links", "gateways", "CDS"});
+  for (const auto& [rule, rule_name] :
+       {std::pair{NeighborRule::kAdjacent, "A-NCR"},
+        std::pair{NeighborRule::kAllWithin2k1, "NC"}}) {
+    for (const auto& [keep, keep_name] :
+         {std::pair{LmstKeepRule::kEitherEndpoint, "either (union)"},
+          std::pair{LmstKeepRule::kBothEndpoints, "both (intersect)"}}) {
+      RunningStats links, gws, cds;
+      for (std::uint64_t trial = 0; trial < kTrials; ++trial) {
+        const AdHocNetwork net = make_net(trial);
+        const Clustering c = khop_clustering(net.graph, k);
+        BackboneSpec spec;
+        spec.neighbor_rule = rule;
+        spec.gateway = GatewayAlgorithm::kLmst;
+        spec.lmst_keep = keep;
+        const Backbone b = build_backbone(net.graph, c, spec);
+        links.add(static_cast<double>(b.virtual_links.size()));
+        gws.add(static_cast<double>(b.gateways.size()));
+        cds.add(static_cast<double>(b.cds_size()));
+      }
+      t.add_row({rule_name, keep_name, fmt(links.mean(), 1),
+                 fmt(gws.mean(), 1), fmt(cds.mean(), 1)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+void wulou_comparison() {
+  std::cout << "X2c - Wu-Lou 2.5-hop coverage vs NC vs A-NCR at k = 1 "
+               "(the special case A-NCR generalizes)\n";
+  TextTable t({"selection", "gateway", "selected pairs", "gateways", "CDS"});
+  struct Combo {
+    NeighborRule rule;
+    GatewayAlgorithm gw;
+    const char* rule_name;
+    const char* gw_name;
+  };
+  for (const Combo combo :
+       {Combo{NeighborRule::kAllWithin2k1, GatewayAlgorithm::kMesh, "NC",
+              "Mesh"},
+        Combo{NeighborRule::kWuLou25, GatewayAlgorithm::kMesh, "Wu-Lou 2.5",
+              "Mesh"},
+        Combo{NeighborRule::kAdjacent, GatewayAlgorithm::kMesh, "A-NCR",
+              "Mesh"},
+        Combo{NeighborRule::kWuLou25, GatewayAlgorithm::kLmst, "Wu-Lou 2.5",
+              "LMST"},
+        Combo{NeighborRule::kAdjacent, GatewayAlgorithm::kLmst, "A-NCR",
+              "LMST"}}) {
+    RunningStats pairs, gws, cds;
+    for (std::uint64_t trial = 0; trial < kTrials; ++trial) {
+      const AdHocNetwork net = make_net(trial);
+      const Clustering c = khop_clustering(net.graph, 1);
+      BackboneSpec spec;
+      spec.neighbor_rule = combo.rule;
+      spec.gateway = combo.gw;
+      const Backbone b = build_backbone(net.graph, c, spec);
+      const auto sel = select_neighbors(net.graph, c, combo.rule);
+      pairs.add(static_cast<double>(sel.head_pairs.size()));
+      gws.add(static_cast<double>(b.gateways.size()));
+      cds.add(static_cast<double>(b.cds_size()));
+    }
+    t.add_row({combo.rule_name, combo.gw_name, fmt(pairs.mean(), 1),
+               fmt(gws.mean(), 1), fmt(cds.mean(), 1)});
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+void core_vs_cluster(Hops k) {
+  std::cout << "X3b - the three k-hop clustering definitions (k = " << k
+            << ")\n";
+  TextTable t({"variant", "clusters", "overlapping?", "k-hop IS heads?"});
+  RunningStats cluster_heads, core_heads, kcluster_count;
+  for (std::uint64_t trial = 0; trial < kTrials; ++trial) {
+    const AdHocNetwork net = make_net(trial);
+    cluster_heads.add(
+        static_cast<double>(khop_clustering(net.graph, k).heads.size()));
+    core_heads.add(
+        static_cast<double>(khop_core(net.graph, k).heads.size()));
+    kcluster_count.add(static_cast<double>(
+        krishna_kclusters(net.graph, k).clusters.size()));
+  }
+  t.add_row({"cluster (paper)", fmt(cluster_heads.mean(), 1), "no", "yes"});
+  t.add_row({"core", fmt(core_heads.mean(), 1), "no", "no"});
+  t.add_row({"k-cluster (Krishna)", fmt(kcluster_count.mean(), 1), "yes",
+             "headless"});
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+void hierarchy_depth() {
+  std::cout << "X9 - recursive high-level clustering (related work, "
+               "section 2): heads per level\n";
+  TextTable t({"k", "level-0 heads", "level-1", "level-2", "levels to 1"});
+  for (const Hops k : {1u, 2u}) {
+    RunningStats l0, l1, l2, depth;
+    for (std::uint64_t trial = 0; trial < kTrials; ++trial) {
+      const AdHocNetwork net = make_net(trial);
+      const ClusterHierarchy h = build_hierarchy(net.graph, k, 8);
+      l0.add(static_cast<double>(h.levels[0].clustering.heads.size()));
+      l1.add(h.depth() > 1 ? static_cast<double>(
+                                 h.levels[1].clustering.heads.size())
+                           : 1.0);
+      l2.add(h.depth() > 2 ? static_cast<double>(
+                                 h.levels[2].clustering.heads.size())
+                           : 1.0);
+      depth.add(static_cast<double>(h.depth()));
+    }
+    t.add_row({std::to_string(k), fmt(l0.mean(), 1), fmt(l1.mean(), 1),
+               fmt(l2.mean(), 1), fmt(depth.mean(), 1)});
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Extension ablations (N = 100, D = 6, AC-LMST, "
+            << kTrials << " shared topologies)\n\n";
+  for (const Hops k : {1u, 2u}) affiliation_ablation(k);
+  for (const Hops k : {1u, 2u}) priority_ablation(k);
+  for (const Hops k : {2u, 3u}) keep_rule_ablation(k);
+  wulou_comparison();
+  core_vs_cluster(2);
+  hierarchy_depth();
+  return 0;
+}

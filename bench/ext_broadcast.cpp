@@ -1,0 +1,62 @@
+// Extension experiment X5 - the motivating application: broadcast with the
+// flooding confined to the connected k-hop clustering backbone versus blind
+// flooding. Reports forwarding transmissions (the collision/energy proxy the
+// paper's introduction argues about) and delivery latency.
+#include <iostream>
+
+#include "khop/cds/broadcast.hpp"
+#include "khop/exp/stats.hpp"
+#include "khop/exp/table.hpp"
+#include "khop/net/generator.hpp"
+
+int main() {
+  using namespace khop;
+
+  std::cout << "Extension X5 - CDS-confined broadcast vs blind flooding "
+               "(N = 150, D = 6, AC-LMST, 30 topologies x 5 sources)\n\n";
+
+  TextTable t({"k", "blind tx", "tree-model tx", "saving %", "ball-model tx",
+               "saving %", "CDS rounds", "delivery"});
+  for (const Hops k : {1u, 2u, 3u, 4u}) {
+    RunningStats blind_tx, tree_tx, ball_tx, cds_rounds;
+    std::size_t complete = 0, total = 0;
+    for (std::uint64_t trial = 0; trial < 30; ++trial) {
+      GeneratorConfig gen;
+      gen.num_nodes = 150;
+      gen.target_degree = 6.0;
+      Rng rng(Rng(98000 + k).spawn(trial));
+      const AdHocNetwork net = generate_network(gen, rng);
+      const Clustering c = khop_clustering(net.graph, k);
+      const Backbone b = build_backbone(net.graph, c, Pipeline::kAcLmst);
+      for (int s = 0; s < 5; ++s) {
+        const auto src =
+            static_cast<NodeId>(rng.uniform_int(net.num_nodes()));
+        const BroadcastResult blind = blind_flood(net.graph, src);
+        const BroadcastResult tree =
+            cds_flood(net.graph, c, b, src, CdsFloodModel::kMemberTrees);
+        const BroadcastResult ball =
+            cds_flood(net.graph, c, b, src, CdsFloodModel::kBallInterior);
+        blind_tx.add(static_cast<double>(blind.transmissions));
+        tree_tx.add(static_cast<double>(tree.transmissions));
+        ball_tx.add(static_cast<double>(ball.transmissions));
+        cds_rounds.add(static_cast<double>(tree.rounds));
+        ++total;
+        if (tree.complete && ball.complete) ++complete;
+      }
+    }
+    const auto saving = [&](const RunningStats& s) {
+      return 100.0 * (1.0 - s.mean() / blind_tx.mean());
+    };
+    t.add_row({std::to_string(k), fmt(blind_tx.mean(), 1),
+               fmt(tree_tx.mean(), 1), fmt(saving(tree_tx), 1),
+               fmt(ball_tx.mean(), 1), fmt(saving(ball_tx), 1),
+               fmt(cds_rounds.mean(), 1),
+               std::to_string(complete) + "/" + std::to_string(total)});
+  }
+  t.print(std::cout);
+  std::cout << "\nreading: the backbone cuts forwarding transmissions at "
+               "every k with full delivery. The member-tree forwarder model "
+               "keeps the savings high as k grows; the simpler ball-interior "
+               "model marks most nodes as relays at large k.\n";
+  return 0;
+}

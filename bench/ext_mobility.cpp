@@ -1,0 +1,102 @@
+// Extension experiment X7 - mobility and combinatorial stability. The paper
+// motivates small k with topology churn: "small k may help to construct a
+// combinatorially stable system". Here nodes move under random waypoint; at
+// each beacon epoch the topology is rebuilt and the pipeline re-run, and we
+// measure how much of the clustering survives an epoch:
+//   * head survival   - fraction of heads that remain heads,
+//   * membership churn- fraction of nodes whose head changed,
+//   * CDS churn       - symmetric-difference size of the CDS node sets.
+#include <iostream>
+#include <set>
+
+#include "khop/core/pipeline.hpp"
+#include "khop/exp/stats.hpp"
+#include "khop/exp/table.hpp"
+#include "khop/graph/components.hpp"
+#include "khop/net/generator.hpp"
+#include "khop/net/mobility.hpp"
+
+int main() {
+  using namespace khop;
+
+  std::cout << "Extension X7 - re-clustering churn under random-waypoint "
+               "mobility (N = 100, D = 8, AC-LMST,\n"
+               "10 runs x 20 epochs, 3 ticks/epoch, speeds 1-5 field "
+               "units/tick)\n\n";
+
+  TextTable t({"k", "head survival %", "member churn %", "CDS churn",
+               "CDS size", "rel CDS churn", "connected epochs %"});
+  for (const Hops k : {1u, 2u, 3u, 4u}) {
+    RunningStats survival, churn, cds_churn, cds_size;
+    std::size_t epochs_total = 0, epochs_connected = 0;
+    for (std::uint64_t run = 0; run < 10; ++run) {
+      GeneratorConfig gen;
+      gen.num_nodes = 100;
+      gen.target_degree = 8.0;
+      Rng rng(Rng(99000 + k).spawn(run));
+      AdHocNetwork net = generate_network(gen, rng);
+      RandomWaypointModel model(RandomWaypointConfig{}, net.num_nodes(),
+                                net.field, rng);
+
+      PipelineOptions opts;
+      opts.k = k;
+      auto previous = build_connected_clustering(net, opts);
+      for (int epoch = 0; epoch < 20; ++epoch) {
+        for (int tick = 0; tick < 3; ++tick) model.step(net, rng);
+        net.rebuild_graph();
+        ++epochs_total;
+        if (!is_connected(net.graph)) continue;  // skip split snapshots
+        ++epochs_connected;
+        const auto current = build_connected_clustering(net, opts);
+
+        // Head survival.
+        const std::set<NodeId> old_heads(previous.backbone.heads.begin(),
+                                         previous.backbone.heads.end());
+        std::size_t kept = 0;
+        for (NodeId h : current.backbone.heads) {
+          if (old_heads.contains(h)) ++kept;
+        }
+        survival.add(100.0 * static_cast<double>(kept) /
+                     static_cast<double>(old_heads.size()));
+
+        // Membership churn.
+        std::size_t changed = 0;
+        for (NodeId v = 0; v < net.num_nodes(); ++v) {
+          if (current.clustering.head_of[v] !=
+              previous.clustering.head_of[v]) {
+            ++changed;
+          }
+        }
+        churn.add(100.0 * static_cast<double>(changed) /
+                  static_cast<double>(net.num_nodes()));
+
+        // CDS symmetric difference.
+        const auto old_mask = previous.backbone.cds_mask(net.num_nodes());
+        const auto new_mask = current.backbone.cds_mask(net.num_nodes());
+        std::size_t diff = 0;
+        for (NodeId v = 0; v < net.num_nodes(); ++v) {
+          if (old_mask[v] != new_mask[v]) ++diff;
+        }
+        cds_churn.add(static_cast<double>(diff));
+        cds_size.add(static_cast<double>(current.cds.size()));
+
+        previous = current;
+      }
+    }
+    t.add_row({std::to_string(k), fmt(survival.mean(), 1),
+               fmt(churn.mean(), 1), fmt(cds_churn.mean(), 1),
+               fmt(cds_size.mean(), 1),
+               fmt(cds_churn.mean() / cds_size.mean(), 2),
+               fmt(100.0 * static_cast<double>(epochs_connected) /
+                       static_cast<double>(epochs_total),
+                   1)});
+  }
+  t.print(std::cout);
+  std::cout << "\nreading: absolute membership churn falls with k (bigger "
+               "clusters absorb motion), but the *relative* CDS churn - "
+               "backbone nodes replaced per epoch divided by backbone size - "
+               "grows with k: a larger-k backbone is rebuilt proportionally "
+               "more per epoch, the paper's combinatorial-stability argument "
+               "for keeping k small.\n";
+  return 0;
+}

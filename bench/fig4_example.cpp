@@ -1,0 +1,77 @@
+// Reproduces paper Figure 4: one concrete 100-node example network (D = 6)
+// showing the cluster graphs produced by the different gateway-selection
+// algorithms. The paper's instance has 7 clusterheads and reports
+//   G-MST 23, NC-Mesh 35, NC-LMST 28, AC-LMST 26 gateways (caption k=2,
+//   text k=3 - we print both interpretations).
+//
+// The authors' exact placement is unavailable, so this bench searches seeds
+// deterministically for an instance with the same clusterhead count, prints
+// the per-algorithm gateway counts on it, and dumps the layout (positions +
+// roles) so the figure can be re-plotted with gnuplot.
+#include <iostream>
+
+#include "figure_common.hpp"
+
+namespace {
+
+using namespace khop;
+
+void run_instance(Hops k, bool scan_for_seven_heads) {
+  GeneratorConfig gen;
+  gen.num_nodes = 100;
+  gen.target_degree = 6.0;
+
+  // Deterministic seed scan for a 7-clusterhead instance (the paper's count;
+  // only k = 3 typically yields 7 heads at N = 100, D = 6, which is why we
+  // read the figure's "k is 3" text as authoritative over its k = 2 caption).
+  std::uint64_t seed = 2005;
+  AdHocNetwork net;
+  Clustering clustering;
+  for (;; ++seed) {
+    Rng rng(seed);
+    net = generate_network(gen, rng);
+    clustering = khop_clustering(net.graph, k);
+    if (!scan_for_seven_heads || clustering.heads.size() == 7) break;
+    if (seed > 2005 + 2000) {
+      std::cout << "  (no 7-head instance found; using the last one with "
+                << clustering.heads.size() << " heads)\n";
+      break;
+    }
+  }
+
+  std::cout << "k = " << k << "  (seed " << seed << ", "
+            << clustering.heads.size() << " clusterheads)\n";
+  TextTable t({"algorithm", "gateways", "CDS size"});
+  for (const Pipeline p :
+       {Pipeline::kGmst, Pipeline::kNcMesh, Pipeline::kNcLmst,
+        Pipeline::kAcLmst, Pipeline::kAcMesh}) {
+    const Backbone b = build_backbone(net.graph, clustering, p);
+    t.add_row({std::string(pipeline_name(p)),
+               std::to_string(b.gateways.size()),
+               std::to_string(b.cds_size())});
+  }
+  t.print(std::cout);
+
+  // Layout dump for re-plotting: id x y role (AC-LMST roles).
+  const Backbone b = build_backbone(net.graph, clustering, Pipeline::kAcLmst);
+  const auto roles = b.roles(net.num_nodes());
+  std::cout << "# layout: id x y role (0=member 1=gateway 2=clusterhead)\n";
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    std::cout << "# " << v << ' ' << fmt(net.positions[v].x, 2) << ' '
+              << fmt(net.positions[v].y, 2) << ' '
+              << static_cast<int>(roles[v]) << '\n';
+  }
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Figure 4 - example of gateway selection using different "
+               "algorithms (N = 100, D = 6)\n"
+            << "paper instance: 7 heads; G-MST 23 / NC-Mesh 35 / NC-LMST 28 "
+               "/ AC-LMST 26 gateways\n\n";
+  run_instance(2, false);  // figure caption's k (representative instance)
+  run_instance(3, true);   // figure text's k (matches the 7-head count)
+  return 0;
+}

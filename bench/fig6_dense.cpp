@@ -1,0 +1,33 @@
+// Reproduces paper Figure 6: size of the k-hop CDS versus number of nodes in
+// DENSE networks (average degree D = 10), one panel per k in {1,2,3,4}.
+//
+// Expected shape (paper section 4): same ordering as Figure 5 but with
+// smaller CDS sizes overall (fewer clusters and shorter detours), and an
+// even smaller AC-LMST vs NC-LMST gap.
+#include <iostream>
+
+#include "figure_common.hpp"
+
+int main() {
+  using namespace khop;
+  using namespace khop::bench;
+
+  std::cout << "Figure 6 - comparison of gateway-selection algorithms in "
+               "dense networks (D = 10)\n"
+            << "metric: size of k-hop CDS (clusterheads + gateways), mean "
+               "over paper stopping rule\n\n";
+
+  ThreadPool pool;
+  const double degree = 10.0;
+  for (const Hops k : {1u, 2u, 3u, 4u}) {
+    std::vector<PairedPoint> points;
+    for (const std::size_t n : paper_node_counts()) {
+      points.push_back(run_paired_point(pool, n, degree, k,
+                                        60000 + 100 * k + n));
+    }
+    print_panel(std::cout, "(" + std::string(1, static_cast<char>('a' + k - 1)) +
+                               ") k = " + std::to_string(k),
+                points, "fig6_k" + std::to_string(k));
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Reproduces paper Figure 7: the effect of the clustering parameter k with
+// the AC-LMST (LMSTGA on adjacent clusterheads) pipeline at D = 6.
+//   (a) number of clusterheads vs N, one curve per k in {1,2,3,4}
+//   (b) size of the k-hop CDS vs N, one curve per k
+//
+// Expected shape (paper section 4): larger k => fewer clusterheads and more
+// gateways, but a smaller total CDS.
+#include <iostream>
+
+#include "figure_common.hpp"
+
+int main() {
+  using namespace khop;
+  using namespace khop::bench;
+
+  std::cout << "Figure 7 - effect of k, using LMSTGA on adjacent "
+               "clusterheads (AC-LMST), D = 6\n\n";
+
+  ThreadPool pool;
+  const double degree = 6.0;
+  const auto node_counts = paper_node_counts();
+  constexpr Hops kMax = 4;
+
+  // rows[n] = {heads per k..., cds per k..., gateways per k...}
+  std::vector<std::vector<double>> heads(node_counts.size()),
+      cds(node_counts.size()), gateways(node_counts.size());
+
+  for (Hops k = 1; k <= kMax; ++k) {
+    for (std::size_t i = 0; i < node_counts.size(); ++i) {
+      const std::size_t n = node_counts[i];
+      ExperimentConfig cfg;
+      cfg.num_nodes = n;
+      cfg.avg_degree = degree;
+      cfg.k = k;
+      cfg.pipeline = Pipeline::kAcLmst;
+      const SweepPoint p =
+          run_sweep_point(pool, cfg, paper_policy(), 70000 + 100 * k + n);
+      heads[i].push_back(p.clusterheads.mean());
+      cds[i].push_back(p.cds_size.mean());
+      gateways[i].push_back(p.gateways.mean());
+    }
+  }
+
+  const auto print_series = [&](const std::string& title,
+                                const std::vector<std::vector<double>>& data) {
+    std::cout << title << '\n';
+    TextTable t({"N", "k=1", "k=2", "k=3", "k=4"});
+    for (std::size_t i = 0; i < node_counts.size(); ++i) {
+      t.add_row({std::to_string(node_counts[i]), fmt(data[i][0]),
+                 fmt(data[i][1]), fmt(data[i][2]), fmt(data[i][3])});
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  };
+
+  print_series("(a) Number of clusterheads", heads);
+  print_series("(b) Number of nodes in CDS", cds);
+  print_series("(supplement) Number of gateways", gateways);
+  return 0;
+}

@@ -1,0 +1,125 @@
+/// \file figure_common.hpp
+/// Shared machinery for the figure-reproduction benches: a paired trial that
+/// evaluates all five pipelines on the same random topology (exactly how the
+/// paper compares them), plus table plumbing.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "khop/cds/cds.hpp"
+#include "khop/common/error.hpp"
+#include "khop/exp/experiment.hpp"
+#include "khop/exp/table.hpp"
+#include "khop/net/generator.hpp"
+#include "khop/runtime/thread_pool.hpp"
+
+namespace khop::bench {
+
+/// Metric layout of one paired trial: heads, then CDS size per pipeline in
+/// kAllPipelines order.
+inline constexpr std::size_t kPairedMetricCount =
+    1 + std::size(kAllPipelines);
+
+/// Runs one topology through every pipeline. Validation is on: any paper
+/// invariant violation aborts the bench loudly rather than producing bogus
+/// series.
+inline std::vector<double> paired_trial(std::size_t n, double radius, Hops k,
+                                        Rng& rng) {
+  GeneratorConfig gen;
+  gen.num_nodes = n;
+  gen.explicit_radius = radius;
+  const AdHocNetwork net = generate_network(gen, rng);
+  const Clustering c = khop_clustering(net.graph, k);
+
+  std::vector<double> metrics;
+  metrics.reserve(kPairedMetricCount);
+  metrics.push_back(static_cast<double>(c.heads.size()));
+  for (const Pipeline p : kAllPipelines) {
+    const Backbone b = build_backbone(net.graph, c, p);
+    const std::string err = validate_k_cds(net.graph, c, b);
+    if (!err.empty()) {
+      throw InvariantViolation(std::string(pipeline_name(p)) + ": " + err);
+    }
+    metrics.push_back(static_cast<double>(b.cds_size()));
+  }
+  return metrics;
+}
+
+struct PairedPoint {
+  std::size_t n = 0;
+  double heads = 0.0;
+  std::vector<double> cds;  ///< per pipeline, kAllPipelines order
+  std::size_t trials = 0;
+};
+
+/// Paper stopping rule: 100 trials or +-1% 90% CI, whichever first.
+inline TrialPolicy paper_policy() {
+  TrialPolicy policy;
+  policy.min_trials = 30;
+  policy.max_trials = 100;
+  policy.rel_halfwidth = 0.01;
+  return policy;
+}
+
+/// One curve sample: calibrate the radius for (n, degree), then run paired
+/// trials under the paper's stopping rule.
+inline PairedPoint run_paired_point(ThreadPool& pool, std::size_t n,
+                                    double degree, Hops k,
+                                    std::uint64_t seed) {
+  ExperimentConfig cal;
+  cal.num_nodes = n;
+  cal.avg_degree = degree;
+  const double radius = resolve_radius(cal, seed);
+
+  const TrialSummary s = run_trials(
+      pool, paper_policy(), Rng(seed), kPairedMetricCount,
+      [n, radius, k](Rng& rng, std::size_t) {
+        return paired_trial(n, radius, k, rng);
+      });
+
+  PairedPoint p;
+  p.n = n;
+  p.heads = s.metrics[0].mean();
+  for (std::size_t i = 1; i < kPairedMetricCount; ++i) {
+    p.cds.push_back(s.metrics[i].mean());
+  }
+  p.trials = s.trials_run;
+  return p;
+}
+
+/// The paper's x axis: N from 50 to 200.
+inline std::vector<std::size_t> paper_node_counts() {
+  return {50, 75, 100, 125, 150, 175, 200};
+}
+
+/// Writes a table as CSV into $KHOP_CSV_DIR/<name>.csv when that environment
+/// variable is set (plot-ready artifacts next to the printed tables).
+inline void maybe_write_csv(const std::string& name, const TextTable& t) {
+  const char* dir = std::getenv("KHOP_CSV_DIR");
+  if (dir == nullptr) return;
+  std::ofstream out(std::string(dir) + "/" + name + ".csv");
+  if (out) out << t.to_csv();
+}
+
+/// Prints one figure panel (CDS size vs N for the five pipelines).
+inline void print_panel(std::ostream& os, const std::string& title,
+                        const std::vector<PairedPoint>& points,
+                        const std::string& csv_name = {}) {
+  os << title << '\n';
+  TextTable t({"N", "NC-Mesh", "AC-Mesh", "NC-LMST", "AC-LMST", "G-MST",
+               "heads", "trials"});
+  for (const auto& p : points) {
+    t.add_row({std::to_string(p.n), fmt(p.cds[0]), fmt(p.cds[1]),
+               fmt(p.cds[2]), fmt(p.cds[3]), fmt(p.cds[4]), fmt(p.heads),
+               std::to_string(p.trials)});
+  }
+  t.print(os);
+  os << '\n';
+  if (!csv_name.empty()) maybe_write_csv(csv_name, t);
+}
+
+}  // namespace khop::bench

@@ -1,0 +1,110 @@
+// Micro-benchmarks (X6): scaling of the library's building blocks, via
+// google-benchmark. These quantify that the whole pipeline is comfortably
+// interactive at paper scale and scales to networks 10x larger.
+#include <benchmark/benchmark.h>
+
+#include "khop/cluster/clustering.hpp"
+#include "khop/gateway/backbone.hpp"
+#include "khop/geom/degree_calibration.hpp"
+#include "khop/geom/placement.hpp"
+#include "khop/graph/bfs.hpp"
+#include "khop/graph/spatial_grid.hpp"
+#include "khop/net/generator.hpp"
+#include "khop/sim/protocols/clustering_protocol.hpp"
+
+namespace {
+
+using namespace khop;
+
+AdHocNetwork make_net(std::size_t n, double degree = 6.0) {
+  GeneratorConfig cfg;
+  cfg.num_nodes = n;
+  cfg.target_degree = degree;
+  // Analytic radius: calibration cost would dominate the fixture setup and
+  // the micro benches only need consistent topology scaling.
+  cfg.radius_mode = RadiusMode::kAnalytic;
+  Rng rng(1234 + n);
+  return generate_network(cfg, rng);
+}
+
+void BM_UnitDiskBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(42);
+  const auto pts = place_uniform(n, Field{100.0}, rng);
+  const double radius = analytic_radius(n, 6.0, Field{100.0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_unit_disk_graph(pts, radius));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_UnitDiskBuild)->Arg(100)->Arg(400)->Arg(1600)->Complexity();
+
+void BM_BfsFull(benchmark::State& state) {
+  const auto net = make_net(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bfs(net.graph, 0));
+  }
+}
+BENCHMARK(BM_BfsFull)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_KhopClustering(benchmark::State& state) {
+  const auto net = make_net(static_cast<std::size_t>(state.range(0)));
+  const auto k = static_cast<Hops>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(khop_clustering(net.graph, k));
+  }
+}
+BENCHMARK(BM_KhopClustering)
+    ->Args({100, 1})
+    ->Args({100, 2})
+    ->Args({100, 4})
+    ->Args({400, 2})
+    ->Args({800, 2});
+
+void BM_BackbonePipeline(benchmark::State& state) {
+  const auto net = make_net(static_cast<std::size_t>(state.range(0)));
+  const auto pipeline = static_cast<Pipeline>(state.range(1));
+  const Clustering c = khop_clustering(net.graph, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_backbone(net.graph, c, pipeline));
+  }
+  state.SetLabel(std::string(pipeline_name(pipeline)));
+}
+BENCHMARK(BM_BackbonePipeline)
+    ->Args({200, static_cast<int>(Pipeline::kNcMesh)})
+    ->Args({200, static_cast<int>(Pipeline::kAcMesh)})
+    ->Args({200, static_cast<int>(Pipeline::kNcLmst)})
+    ->Args({200, static_cast<int>(Pipeline::kAcLmst)})
+    ->Args({200, static_cast<int>(Pipeline::kGmst)})
+    ->Args({800, static_cast<int>(Pipeline::kAcLmst)});
+
+void BM_DistributedClustering(benchmark::State& state) {
+  const auto net = make_net(static_cast<std::size_t>(state.range(0)));
+  const auto k = static_cast<Hops>(state.range(1));
+  const auto prio = make_priorities(net.graph, PriorityRule::kLowestId);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_distributed_clustering(
+        net.graph, k, prio, AffiliationRule::kIdBased));
+  }
+}
+BENCHMARK(BM_DistributedClustering)->Args({100, 2})->Args({200, 2});
+
+void BM_EndToEndTrial(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const double radius = analytic_radius(n, 6.0, Field{100.0});
+  std::uint64_t trial = 0;
+  for (auto _ : state) {
+    GeneratorConfig cfg;
+    cfg.num_nodes = n;
+    cfg.explicit_radius = radius;
+    Rng rng(Rng(5).spawn(trial++));
+    const AdHocNetwork net = generate_network(cfg, rng);
+    const Clustering c = khop_clustering(net.graph, 2);
+    benchmark::DoNotOptimize(build_backbone(net.graph, c, Pipeline::kAcLmst));
+  }
+}
+BENCHMARK(BM_EndToEndTrial)->Arg(100)->Arg(200);
+
+}  // namespace
+
+BENCHMARK_MAIN();

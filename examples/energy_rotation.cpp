@@ -1,0 +1,55 @@
+// Example: power-aware clusterhead rotation (paper section 3.3). Replacing
+// lowest-ID with residual-energy priority rotates the expensive clusterhead
+// role and stretches the time until the first node dies.
+//
+//   ./energy_rotation [N] [k] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "khop/dynamic/rotation.hpp"
+#include "khop/exp/table.hpp"
+#include "khop/net/generator.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 80;
+  const khop::Hops k =
+      argc > 2 ? static_cast<khop::Hops>(std::strtoul(argv[2], nullptr, 10))
+               : 2;
+  const std::uint64_t seed =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 11;
+
+  khop::GeneratorConfig gen;
+  gen.num_nodes = n;
+  gen.target_degree = 8.0;
+  khop::Rng rng(seed);
+  const khop::AdHocNetwork net = khop::generate_network(gen, rng);
+
+  khop::RotationConfig cfg;
+  cfg.k = k;
+  cfg.max_epochs = 500;
+  cfg.energy.initial = 60.0;
+  cfg.energy.clusterhead_cost = 1.0;
+  cfg.energy.gateway_cost = 0.4;
+  cfg.energy.member_cost = 0.05;
+
+  khop::TextTable t(
+      {"priority", "first death epoch", "epochs run", "mean churn/epoch"});
+  for (const auto& [rule, name] :
+       {std::pair{khop::PriorityRule::kHighestEnergy, "residual energy"},
+        std::pair{khop::PriorityRule::kLowestId, "lowest-ID (static)"}}) {
+    cfg.priority = rule;
+    khop::Rng rot_rng(seed);
+    const khop::RotationResult r = khop::run_rotation(net, cfg, rot_rng);
+    double churn = 0.0;
+    for (const auto& e : r.epochs) churn += static_cast<double>(e.head_churn);
+    churn /= static_cast<double>(std::max<std::size_t>(1, r.epochs.size()));
+    t.add_row({name, std::to_string(r.first_death_epoch),
+               std::to_string(r.epochs.size()), khop::fmt(churn, 2)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nEnergy-priority elections rotate the head role, so the "
+               "drain spreads across nodes\ninstead of exhausting the "
+               "lowest-ID nodes first (paper section 3.3).\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Example: maintaining a connected k-hop clustering under churn (paper
+// section 3.3). Nodes fail one at a time; instead of rebuilding everything,
+// the maintenance policy applies the paper's local fixes:
+//   member failure     -> nothing to do,
+//   gateway failure    -> affected clusterheads re-run gateway selection,
+//   clusterhead failure-> re-election confined to the orphaned cluster.
+//
+//   ./mobility_maintenance [N] [k] [failures] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "khop/dynamic/events.hpp"
+#include "khop/exp/table.hpp"
+#include "khop/net/generator.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 120;
+  const khop::Hops k =
+      argc > 2 ? static_cast<khop::Hops>(std::strtoul(argv[2], nullptr, 10))
+               : 2;
+  const std::size_t failures =
+      argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 15;
+  const std::uint64_t seed =
+      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 99;
+
+  khop::GeneratorConfig gen;
+  gen.num_nodes = n;
+  gen.target_degree = 8.0;
+  khop::Rng rng(seed);
+  const khop::AdHocNetwork net = khop::generate_network(gen, rng);
+
+  khop::Graph graph = net.graph;
+  khop::Clustering clustering = khop::khop_clustering(graph, k);
+  khop::Backbone backbone =
+      khop::build_backbone(graph, clustering, khop::Pipeline::kAcLmst);
+
+  std::cout << "initial: " << graph.num_nodes() << " nodes, "
+            << clustering.heads.size() << " clusterheads, "
+            << backbone.gateways.size() << " gateways\n\n";
+
+  khop::TextTable t({"event", "class", "nodes", "heads", "gateways",
+                     "orphans", "new heads", "valid"});
+  std::size_t done = 0;
+  for (std::size_t attempt = 0; done < failures && attempt < failures * 5;
+       ++attempt) {
+    const auto victim =
+        static_cast<khop::NodeId>(rng.uniform_int(graph.num_nodes()));
+    const auto rep = khop::handle_node_failure(
+        graph, clustering, backbone, khop::Pipeline::kAcLmst, victim);
+    if (!rep.remainder_connected) continue;  // cut vertex: skip this victim
+
+    ++done;
+    const char* cls =
+        rep.failure_class == khop::FailureClass::kPlainMember ? "member"
+        : rep.failure_class == khop::FailureClass::kGateway   ? "gateway"
+                                                              : "head";
+    graph = rep.remainder.graph;
+    clustering = rep.clustering;
+    backbone = rep.backbone;
+    t.add_row({std::to_string(done), cls, std::to_string(graph.num_nodes()),
+               std::to_string(clustering.heads.size()),
+               std::to_string(backbone.gateways.size()),
+               std::to_string(rep.orphaned_members),
+               std::to_string(rep.new_heads),
+               rep.validation_error.empty() ? "yes" : "NO"});
+  }
+  t.print(std::cout);
+  std::cout << "\nThe backbone stayed a valid connected k-hop CDS through "
+            << done << " failures without a single full rebuild.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Quickstart: generate a random ad hoc network, build the paper's AC-LMST
+// connected k-hop clustering backbone, and print what came out.
+//
+//   ./quickstart [N] [avg_degree] [k] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "khop/core/pipeline.hpp"
+#include "khop/graph/metrics.hpp"
+#include "khop/net/generator.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 100;
+  const double degree = argc > 2 ? std::strtod(argv[2], nullptr) : 6.0;
+  const khop::Hops k =
+      argc > 3 ? static_cast<khop::Hops>(std::strtoul(argv[3], nullptr, 10))
+               : 2;
+  const std::uint64_t seed =
+      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 20050615;
+
+  // 1. A random connected unit-disk network in the paper's 100x100 field.
+  khop::GeneratorConfig gen;
+  gen.num_nodes = n;
+  gen.target_degree = degree;
+  khop::Rng rng(seed);
+  const khop::AdHocNetwork net = khop::generate_network(gen, rng);
+
+  const auto deg = khop::degree_stats(net.graph);
+  std::cout << "network: " << net.num_nodes() << " nodes, radius "
+            << net.radius << ", mean degree " << deg.mean << "\n";
+
+  // 2. One call: k-hop clustering + A-NCR neighbor selection + LMST gateway
+  //    selection, with the Theorem 1/2 validators enabled.
+  khop::PipelineOptions opts;
+  opts.k = k;
+  opts.pipeline = khop::Pipeline::kAcLmst;
+  const auto result = khop::build_connected_clustering(net, opts);
+
+  std::cout << "k = " << k << " clustering: "
+            << result.clustering.num_clusters() << " clusterheads in "
+            << result.clustering.election_rounds << " election rounds\n";
+  std::cout << "backbone (" << khop::pipeline_name(result.backbone.pipeline)
+            << "): " << result.backbone.gateways.size() << " gateways, CDS size "
+            << result.cds.size() << " ("
+            << 100.0 * static_cast<double>(result.cds.size()) /
+                   static_cast<double>(net.num_nodes())
+            << "% of nodes)\n";
+
+  std::cout << "clusterheads:";
+  for (const khop::NodeId h : result.backbone.heads) std::cout << ' ' << h;
+  std::cout << "\ngateways:";
+  for (const khop::NodeId g : result.backbone.gateways) std::cout << ' ' << g;
+  std::cout << '\n';
+  return 0;
+}

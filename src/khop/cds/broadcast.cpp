@@ -1,0 +1,85 @@
+#include "khop/cds/broadcast.hpp"
+
+#include "khop/common/assert.hpp"
+#include "khop/graph/bfs.hpp"
+
+namespace khop {
+
+namespace {
+
+/// Rounds-based flood where only nodes with forwarder[v] == true relay.
+/// The source always transmits.
+BroadcastResult flood(const Graph& g, NodeId source,
+                      const std::vector<bool>& forwarder) {
+  KHOP_REQUIRE(source < g.num_nodes(), "source out of range");
+  BroadcastResult r;
+  std::vector<bool> received(g.num_nodes(), false);
+  std::vector<bool> transmitted(g.num_nodes(), false);
+
+  received[source] = true;
+  r.delivered = 1;
+  std::vector<NodeId> tx_queue{source};
+
+  while (!tx_queue.empty()) {
+    ++r.rounds;
+    std::vector<NodeId> next;
+    for (NodeId u : tx_queue) {
+      transmitted[u] = true;
+      ++r.transmissions;
+      for (NodeId v : g.neighbors(u)) {
+        if (!received[v]) {
+          received[v] = true;
+          ++r.delivered;
+          if (forwarder[v] && !transmitted[v]) next.push_back(v);
+        }
+      }
+    }
+    tx_queue = std::move(next);
+  }
+  r.complete = r.delivered == g.num_nodes();
+  return r;
+}
+
+}  // namespace
+
+BroadcastResult blind_flood(const Graph& g, NodeId source) {
+  return flood(g, source, std::vector<bool>(g.num_nodes(), true));
+}
+
+BroadcastResult cds_flood(const Graph& g, const Clustering& c,
+                          const Backbone& b, NodeId source,
+                          CdsFloodModel model) {
+  std::vector<bool> forwarder = b.cds_mask(g.num_nodes());
+  if (c.k > 1) {
+    if (model == CdsFloodModel::kBallInterior) {
+      // Nodes strictly inside a head's k-ball relay intra-cluster traffic:
+      // every member at distance <= k from its head is then reachable,
+      // because the interior of any shortest head-to-member path sits at
+      // distance < k from that head.
+      const MultiSourceBfs ms = multi_source_bfs(g, b.heads);
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        if (ms.dist[v] < c.k) forwarder[v] = true;
+      }
+    } else {
+      // Member-tree forwarding: mark the interiors of the canonical paths
+      // from each head to its own members. Every member's delivery chain is
+      // then forwarding end-to-end; leaf members stay silent. Note the
+      // paths may relay through nodes of other clusters - those relays
+      // forward too (they sit on a head->member chain).
+      for (std::uint32_t ci = 0; ci < c.heads.size(); ++ci) {
+        const BfsTree tree = bfs(g, c.heads[ci]);
+        for (NodeId v = 0; v < g.num_nodes(); ++v) {
+          if (c.cluster_of[v] != ci || v == c.heads[ci]) continue;
+          // Mark the strict interior of head -> v.
+          for (NodeId w = tree.parent[v]; w != c.heads[ci];
+               w = tree.parent[w]) {
+            forwarder[w] = true;
+          }
+        }
+      }
+    }
+  }
+  return flood(g, source, forwarder);
+}
+
+}  // namespace khop

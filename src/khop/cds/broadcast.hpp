@@ -1,0 +1,55 @@
+/// \file broadcast.hpp
+/// The motivating application (paper section 1): network-wide broadcast with
+/// the flooding confined to the backbone instead of every node.
+///
+/// Forwarding model:
+/// * Blind flooding - every node retransmits the message exactly once.
+/// * CDS flooding - a node retransmits iff it is a backbone node (head or
+///   gateway) or it lies strictly inside some head's k-ball (hop distance
+///   < k from a head): those interior nodes relay the intra-cluster
+///   dissemination, which is what keeps k-hop clusters reachable. For k = 1
+///   this degenerates to backbone-only forwarding.
+///
+/// Both variants are simulated as deterministic BFS-style rounds over an
+/// ideal MAC (one transmission reaches all neighbors).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "khop/cds/cds.hpp"
+#include "khop/cluster/clustering.hpp"
+#include "khop/gateway/backbone.hpp"
+#include "khop/graph/graph.hpp"
+
+namespace khop {
+
+struct BroadcastResult {
+  std::size_t transmissions = 0;  ///< nodes that forwarded (incl. source)
+  std::size_t delivered = 0;      ///< nodes that received (incl. source)
+  std::size_t rounds = 0;         ///< latency in rounds
+  bool complete = false;          ///< delivered == n
+};
+
+/// How intra-cluster dissemination is modelled for k > 1 (at k = 1 both
+/// collapse to backbone-only forwarding).
+enum class CdsFloodModel : std::uint8_t {
+  /// Every node strictly inside some head's k-ball relays. Simple and
+  /// robust, but generous: at large k most nodes become forwarders.
+  kBallInterior,
+  /// Only nodes on the canonical BFS paths from each head to its own
+  /// members relay (members that are leaves stay silent). Tighter forwarder
+  /// set with the same delivery guarantee: every member's path from its
+  /// head is fully forwarding by construction.
+  kMemberTrees,
+};
+
+/// Blind flooding from \p source.
+BroadcastResult blind_flood(const Graph& g, NodeId source);
+
+/// CDS-confined flooding from \p source (see file comment for the model).
+BroadcastResult cds_flood(const Graph& g, const Clustering& c,
+                          const Backbone& b, NodeId source,
+                          CdsFloodModel model = CdsFloodModel::kMemberTrees);
+
+}  // namespace khop

@@ -1,0 +1,34 @@
+/// \file cds.hpp
+/// k-hop connected dominating set (CDS) view of a backbone and its
+/// validation. In 1-hop clustering the heads + gateways form a classic CDS;
+/// for general k they form a k-hop CDS: the set is connected and every node
+/// is within k hops of it (here: of a clusterhead).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "khop/cluster/clustering.hpp"
+#include "khop/gateway/backbone.hpp"
+#include "khop/graph/graph.hpp"
+
+namespace khop {
+
+struct Cds {
+  Hops k = 1;
+  std::vector<NodeId> nodes;  ///< heads ∪ gateways, ascending
+  std::size_t num_heads = 0;
+  std::size_t num_gateways = 0;
+
+  std::size_t size() const noexcept { return nodes.size(); }
+};
+
+/// Extracts the CDS from a backbone.
+Cds extract_cds(const Clustering& c, const Backbone& b);
+
+/// Full k-hop CDS validation: connected in g AND every node of g is within
+/// k hops of some clusterhead. Empty string on success.
+std::string validate_k_cds(const Graph& g, const Clustering& c,
+                           const Backbone& b);
+
+}  // namespace khop

@@ -1,0 +1,58 @@
+/// \file routing.hpp
+/// Hierarchical routing over the connected k-hop clustering backbone - the
+/// application family the paper's introduction motivates (smaller routing
+/// tables, fewer route updates).
+///
+/// A packet from src to dst travels in three legs:
+///   1. up:    src -> head(src) along the head's canonical BFS tree,
+///   2. across: head(src) -> head(dst) through the cluster graph G'
+///              (Dijkstra over realized virtual links, hop-count weights),
+///   3. down:  head(dst) -> dst along the destination head's BFS tree.
+/// Only cluster-level state is needed to route (the point of clustering);
+/// the price is path stretch versus the true shortest path, which the
+/// ext_routing bench quantifies per pipeline and k.
+#pragma once
+
+#include <vector>
+
+#include "khop/cluster/clustering.hpp"
+#include "khop/gateway/backbone.hpp"
+#include "khop/graph/bfs.hpp"
+#include "khop/gateway/virtual_link.hpp"
+
+namespace khop {
+
+struct Route {
+  std::vector<NodeId> path;  ///< src..dst inclusive, consecutive G-edges
+  Hops hops() const noexcept {
+    return path.empty() ? 0 : static_cast<Hops>(path.size() - 1);
+  }
+};
+
+/// Precomputed routing state for one backbone.
+class BackboneRouter {
+ public:
+  /// \pre b was built for c over g and validates (connected backbone)
+  BackboneRouter(const Graph& g, const Clustering& c, const Backbone& b);
+
+  /// Routes src -> dst. Always succeeds on a valid backbone.
+  Route route(NodeId src, NodeId dst) const;
+
+  /// hops(route) / dist_G(src, dst); 1.0 means shortest-path optimal.
+  /// \pre src != dst
+  double stretch(NodeId src, NodeId dst) const;
+
+ private:
+  const Graph* graph_;
+  const Clustering* clustering_;
+  std::vector<BfsTree> head_trees_;     ///< BFS tree per cluster index
+  VirtualLinkMap links_;                ///< realized virtual links
+  /// head_route_[i][j]: next-hop cluster index from head i toward head j on
+  /// the hop-weighted shortest path through the cluster graph.
+  std::vector<std::vector<std::uint32_t>> head_route_;
+
+  std::vector<NodeId> head_path(std::uint32_t from_cluster,
+                                std::uint32_t to_cluster) const;
+};
+
+}  // namespace khop

@@ -1,0 +1,157 @@
+#include "khop/cluster/clustering.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "khop/common/assert.hpp"
+#include "khop/common/error.hpp"
+#include "khop/graph/bfs.hpp"
+#include "khop/graph/components.hpp"
+
+namespace khop {
+
+std::vector<NodeId> Clustering::cluster_members(std::uint32_t c) const {
+  KHOP_REQUIRE(c < heads.size(), "cluster index out of range");
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < cluster_of.size(); ++v) {
+    if (cluster_of[v] == c) out.push_back(v);
+  }
+  return out;
+}
+
+namespace {
+
+/// Candidate head heard by an undecided node in the current round.
+struct Candidate {
+  NodeId head = kInvalidNode;
+  Hops dist = kUnreachable;
+};
+
+/// Picks among this round's candidates per the affiliation rule.
+/// \p cluster_sizes maps head -> current member count (size-based rule).
+NodeId pick_cluster(const std::vector<Candidate>& cands, AffiliationRule rule,
+                    const std::vector<std::size_t>& cluster_sizes) {
+  KHOP_ASSERT(!cands.empty(), "node heard no declarations");
+  const Candidate* best = &cands.front();
+  for (const Candidate& c : cands) {
+    bool better = false;
+    switch (rule) {
+      case AffiliationRule::kIdBased:
+        better = c.head < best->head;
+        break;
+      case AffiliationRule::kDistanceBased:
+        better = std::tuple(c.dist, c.head) < std::tuple(best->dist, best->head);
+        break;
+      case AffiliationRule::kSizeBased:
+        better = std::tuple(cluster_sizes[c.head], c.dist, c.head) <
+                 std::tuple(cluster_sizes[best->head], best->dist, best->head);
+        break;
+    }
+    if (better) best = &c;
+  }
+  return best->head;
+}
+
+}  // namespace
+
+Clustering khop_clustering(const Graph& g, Hops k,
+                           const std::vector<PriorityKey>& priorities,
+                           AffiliationRule rule) {
+  KHOP_REQUIRE(k >= 1, "k must be >= 1");
+  KHOP_REQUIRE(priorities.size() == g.num_nodes(),
+               "one priority key per node required");
+  if (!is_connected(g)) {
+    throw NotConnected("khop_clustering: input graph must be connected");
+  }
+
+  const std::size_t n = g.num_nodes();
+  Clustering result;
+  result.k = k;
+  result.head_of.assign(n, kInvalidNode);
+  result.dist_to_head.assign(n, kUnreachable);
+
+  std::vector<bool> decided(n, false);
+  std::size_t undecided_count = n;
+  // cluster_sizes[head]: members assigned so far (head included), for the
+  // size-based rule. Indexed by node id for simplicity.
+  std::vector<std::size_t> cluster_sizes(n, 0);
+
+  while (undecided_count > 0) {
+    ++result.election_rounds;
+    KHOP_ASSERT(result.election_rounds <= n, "election failed to make progress");
+
+    // Phase A - declaration: an undecided node wins iff it holds the best
+    // priority among *undecided* nodes within its k-hop neighborhood.
+    // Distances are measured in the full graph G: decided nodes still relay.
+    std::vector<NodeId> winners;
+    for (NodeId u = 0; u < n; ++u) {
+      if (decided[u]) continue;
+      const BfsTree ball = bfs_bounded(g, u, k);
+      bool best = true;
+      for (NodeId v = 0; v < n && best; ++v) {
+        if (v == u || decided[v] || ball.dist[v] == kUnreachable) continue;
+        if (priorities[v] < priorities[u]) best = false;
+      }
+      if (best) winners.push_back(u);
+    }
+    KHOP_ASSERT(!winners.empty(), "no winner in a round");
+
+    // Phase B - winners declare; undecided nodes within k hops collect the
+    // declarations they hear this round.
+    std::vector<std::vector<Candidate>> heard(n);
+    for (NodeId w : winners) {
+      decided[w] = true;
+      --undecided_count;
+      result.head_of[w] = w;
+      result.dist_to_head[w] = 0;
+      cluster_sizes[w] = 1;
+      result.heads.push_back(w);
+
+      const BfsTree ball = bfs_bounded(g, w, k);
+      for (NodeId v = 0; v < n; ++v) {
+        if (decided[v] || ball.dist[v] == kUnreachable || v == w) continue;
+        heard[v].push_back({w, ball.dist[v]});
+      }
+    }
+
+    // Same-round winners must be mutually > k hops apart; otherwise one of
+    // them would have seen the other's better priority.
+    for (NodeId w : winners) {
+      KHOP_ASSERT(heard[w].empty(), "two same-round winners within k hops");
+    }
+
+    // Phase C - affiliation. Processing in ascending node id keeps the
+    // size-based greedy deterministic.
+    for (NodeId v = 0; v < n; ++v) {
+      if (decided[v] || heard[v].empty()) continue;
+      const NodeId h = pick_cluster(heard[v], rule, cluster_sizes);
+      decided[v] = true;
+      --undecided_count;
+      result.head_of[v] = h;
+      result.dist_to_head[v] =
+          std::find_if(heard[v].begin(), heard[v].end(),
+                       [&](const Candidate& c) { return c.head == h; })
+              ->dist;
+      ++cluster_sizes[h];
+    }
+  }
+
+  std::sort(result.heads.begin(), result.heads.end());
+  result.cluster_of.assign(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto it = std::lower_bound(result.heads.begin(), result.heads.end(),
+                                     result.head_of[v]);
+    KHOP_ASSERT(it != result.heads.end() && *it == result.head_of[v],
+                "head_of references a non-head");
+    result.cluster_of[v] =
+        static_cast<std::uint32_t>(std::distance(result.heads.begin(), it));
+  }
+  return result;
+}
+
+Clustering khop_clustering(const Graph& g, Hops k, AffiliationRule rule) {
+  return khop_clustering(g, k, make_priorities(g, PriorityRule::kLowestId),
+                         rule);
+}
+
+}  // namespace khop

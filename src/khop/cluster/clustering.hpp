@@ -1,0 +1,58 @@
+/// \file clustering.hpp
+/// The paper's k-hop clustering (section 3): iterative lowest-priority
+/// election in k-hop neighborhoods, producing clusterheads that form a k-hop
+/// independent set and a k-hop dominating set, plus non-overlapping member
+/// assignments.
+///
+/// This is the centralized reference implementation; khop/sim runs the same
+/// algorithm as an actual message-passing protocol, and the test suite
+/// asserts both produce identical results.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "khop/cluster/priority.hpp"
+#include "khop/common/types.hpp"
+#include "khop/graph/graph.hpp"
+
+namespace khop {
+
+/// How a node that hears several clusterhead declarations picks its cluster
+/// (paper section 3, options (1)-(3)).
+enum class AffiliationRule : std::uint8_t {
+  kIdBased,        ///< join the declaring head with the smallest id
+  kDistanceBased,  ///< join the nearest declaring head (ties: smaller id)
+  kSizeBased,      ///< join the currently smallest cluster (ties: distance,
+                   ///< then id); greedy approximation of size balancing
+};
+
+/// Result of k-hop clustering. Clusters are non-overlapping: head_of is a
+/// total function from nodes to heads.
+struct Clustering {
+  Hops k = 1;
+  std::vector<NodeId> heads;       ///< ascending node ids
+  std::vector<NodeId> head_of;     ///< node -> its clusterhead (self for heads)
+  std::vector<Hops> dist_to_head;  ///< hop distance to own head (0 for heads)
+  std::vector<std::uint32_t> cluster_of;  ///< node -> index into `heads`
+  std::size_t election_rounds = 0;        ///< iterations until all joined
+
+  bool is_head(NodeId v) const { return head_of[v] == v; }
+  std::size_t num_clusters() const { return heads.size(); }
+
+  /// Members of cluster \p c (including its head), ascending.
+  std::vector<NodeId> cluster_members(std::uint32_t c) const;
+};
+
+/// Runs the iterative k-hop clustering over connected graph \p g.
+/// \p priorities must be one strict-total-order key per node.
+/// \pre k >= 1; g connected (checked: throws NotConnected)
+Clustering khop_clustering(const Graph& g, Hops k,
+                           const std::vector<PriorityKey>& priorities,
+                           AffiliationRule rule = AffiliationRule::kIdBased);
+
+/// Convenience overload: lowest-ID priorities (the paper's configuration).
+Clustering khop_clustering(const Graph& g, Hops k,
+                           AffiliationRule rule = AffiliationRule::kIdBased);
+
+}  // namespace khop

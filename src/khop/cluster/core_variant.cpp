@@ -1,0 +1,71 @@
+#include "khop/cluster/core_variant.hpp"
+
+#include <algorithm>
+
+#include "khop/common/assert.hpp"
+#include "khop/common/error.hpp"
+#include "khop/graph/bfs.hpp"
+#include "khop/graph/components.hpp"
+
+namespace khop {
+
+Clustering khop_core(const Graph& g, Hops k,
+                     const std::vector<PriorityKey>& priorities) {
+  KHOP_REQUIRE(k >= 1, "k must be >= 1");
+  KHOP_REQUIRE(priorities.size() == g.num_nodes(),
+               "one priority key per node required");
+  if (!is_connected(g)) {
+    throw NotConnected("khop_core: input graph must be connected");
+  }
+
+  const std::size_t n = g.num_nodes();
+  Clustering result;
+  result.k = k;
+  result.election_rounds = 1;
+  result.head_of.assign(n, kInvalidNode);
+  result.dist_to_head.assign(n, kUnreachable);
+
+  for (NodeId u = 0; u < n; ++u) {
+    const BfsTree ball = bfs_bounded(g, u, k);
+    NodeId best = u;
+    for (NodeId v = 0; v < n; ++v) {
+      if (ball.dist[v] == kUnreachable) continue;
+      if (priorities[v] < priorities[best]) best = v;
+    }
+    result.head_of[u] = best;
+    result.dist_to_head[u] = ball.dist[best];
+  }
+
+  // Heads are exactly the designated nodes. A designated node always
+  // designates itself: anyone it prefers within its own k-ball would also be
+  // visible (within 2k hops) to... not necessarily to the designator - so we
+  // normalize: designated nodes become heads of themselves.
+  std::vector<bool> is_head(n, false);
+  for (NodeId u = 0; u < n; ++u) is_head[result.head_of[u]] = true;
+  for (NodeId u = 0; u < n; ++u) {
+    if (is_head[u]) {
+      result.head_of[u] = u;
+      result.dist_to_head[u] = 0;
+    }
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    if (is_head[u]) result.heads.push_back(u);
+  }
+
+  result.cluster_of.assign(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto it = std::lower_bound(result.heads.begin(), result.heads.end(),
+                                     result.head_of[v]);
+    KHOP_ASSERT(it != result.heads.end() && *it == result.head_of[v],
+                "head_of references a non-head");
+    result.cluster_of[v] =
+        static_cast<std::uint32_t>(std::distance(result.heads.begin(), it));
+  }
+  return result;
+}
+
+Clustering khop_core(const Graph& g, Hops k) {
+  return khop_core(g, k, make_priorities(g, PriorityRule::kLowestId));
+}
+
+}  // namespace khop

@@ -1,0 +1,34 @@
+#include "khop/cluster/priority.hpp"
+
+#include "khop/common/assert.hpp"
+
+namespace khop {
+
+std::vector<PriorityKey> make_priorities(const Graph& g, PriorityRule rule,
+                                         const EnergyState* energy,
+                                         Rng* rng) {
+  std::vector<PriorityKey> keys(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    keys[v].id = v;
+    switch (rule) {
+      case PriorityRule::kLowestId:
+        keys[v].key = 0.0;  // id breaks the tie: pure lowest-ID election
+        break;
+      case PriorityRule::kHighestDegree:
+        keys[v].key = -static_cast<double>(g.degree(v));
+        break;
+      case PriorityRule::kHighestEnergy:
+        KHOP_REQUIRE(energy != nullptr,
+                     "energy state required for kHighestEnergy");
+        keys[v].key = -energy->residual(v);
+        break;
+      case PriorityRule::kRandomTimer:
+        KHOP_REQUIRE(rng != nullptr, "rng required for kRandomTimer");
+        keys[v].key = rng->uniform();
+        break;
+    }
+  }
+  return keys;
+}
+
+}  // namespace khop

@@ -1,0 +1,42 @@
+/// \file priority.hpp
+/// Node priorities for clusterhead election.
+///
+/// The paper's experiments use the classic lowest-ID rule, and section 2/3.3
+/// lists the alternatives this module also provides: node degree, residual
+/// energy (power-aware rotation) and a random timer. Priorities are strict
+/// total orders: (key, id) pairs compared lexicographically, lower wins.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "khop/common/rng.hpp"
+#include "khop/common/types.hpp"
+#include "khop/graph/graph.hpp"
+#include "khop/net/energy.hpp"
+
+namespace khop {
+
+enum class PriorityRule : std::uint8_t {
+  kLowestId,       ///< paper default
+  kHighestDegree,  ///< Gerla & Tsai style
+  kHighestEnergy,  ///< power-aware rotation, paper section 3.3
+  kRandomTimer,    ///< randomized election
+};
+
+/// Election key: strictly ordered, lower = more eligible to be clusterhead.
+struct PriorityKey {
+  double key = 0.0;
+  NodeId id = kInvalidNode;
+
+  friend constexpr auto operator<=>(const PriorityKey&,
+                                    const PriorityKey&) = default;
+};
+
+/// Builds one key per node.
+/// \p energy is required for kHighestEnergy; \p rng for kRandomTimer.
+std::vector<PriorityKey> make_priorities(const Graph& g, PriorityRule rule,
+                                         const EnergyState* energy = nullptr,
+                                         Rng* rng = nullptr);
+
+}  // namespace khop

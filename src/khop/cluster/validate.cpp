@@ -1,0 +1,81 @@
+#include "khop/cluster/validate.hpp"
+
+#include <sstream>
+
+#include "khop/graph/bfs.hpp"
+
+namespace khop {
+
+std::string validate_clustering(const Graph& g, const Clustering& c,
+                                const ClusteringChecks& checks) {
+  const std::size_t n = g.num_nodes();
+  std::ostringstream err;
+
+  if (c.head_of.size() != n || c.dist_to_head.size() != n ||
+      c.cluster_of.size() != n) {
+    return "clustering vectors are not sized to the graph";
+  }
+
+  if (checks.require_total_membership) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (c.head_of[v] == kInvalidNode) {
+        err << "node " << v << " belongs to no cluster";
+        return err.str();
+      }
+      if (c.cluster_of[v] >= c.heads.size() ||
+          c.heads[c.cluster_of[v]] != c.head_of[v]) {
+        err << "node " << v << " has inconsistent cluster index";
+        return err.str();
+      }
+    }
+    for (NodeId h : c.heads) {
+      if (c.head_of[h] != h) {
+        err << "head " << h << " is not its own head";
+        return err.str();
+      }
+    }
+  }
+
+  // One BFS per head serves the remaining checks.
+  std::vector<BfsTree> head_trees;
+  head_trees.reserve(c.heads.size());
+  for (NodeId h : c.heads) head_trees.push_back(bfs(g, h));
+
+  if (checks.require_distance_consistency) {
+    for (NodeId v = 0; v < n; ++v) {
+      const auto& tree = head_trees[c.cluster_of[v]];
+      if (tree.dist[v] != c.dist_to_head[v]) {
+        err << "node " << v << " records distance " << c.dist_to_head[v]
+            << " to head " << c.head_of[v] << " but BFS says " << tree.dist[v];
+        return err.str();
+      }
+    }
+  }
+
+  if (checks.require_khop_dominating) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (c.dist_to_head[v] > c.k) {
+        err << "node " << v << " is " << c.dist_to_head[v]
+            << " hops from its head; k = " << c.k;
+        return err.str();
+      }
+    }
+  }
+
+  if (checks.require_khop_independent_heads) {
+    for (std::size_t i = 0; i < c.heads.size(); ++i) {
+      for (std::size_t j = i + 1; j < c.heads.size(); ++j) {
+        const Hops d = head_trees[i].dist[c.heads[j]];
+        if (d <= c.k) {
+          err << "heads " << c.heads[i] << " and " << c.heads[j]
+              << " are only " << d << " hops apart; k = " << c.k;
+          return err.str();
+        }
+      }
+    }
+  }
+
+  return {};
+}
+
+}  // namespace khop

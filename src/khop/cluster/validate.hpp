@@ -1,0 +1,25 @@
+/// \file validate.hpp
+/// Invariant checkers for clustering results. Used by property tests and by
+/// the dynamics module after local repairs.
+#pragma once
+
+#include <string>
+
+#include "khop/cluster/clustering.hpp"
+
+namespace khop {
+
+/// What to verify.
+struct ClusteringChecks {
+  bool require_khop_independent_heads = true;  ///< cluster algorithm only
+  bool require_khop_dominating = true;
+  bool require_total_membership = true;
+  bool require_distance_consistency = true;  ///< dist_to_head == BFS distance
+};
+
+/// Returns an empty string when all requested invariants hold; otherwise a
+/// human-readable description of the first violation.
+std::string validate_clustering(const Graph& g, const Clustering& c,
+                                const ClusteringChecks& checks = {});
+
+}  // namespace khop

@@ -1,0 +1,44 @@
+/// \file assert.hpp
+/// Contract-checking macros. KHOP_REQUIRE guards public-API preconditions and
+/// always throws InvalidArgument; KHOP_ASSERT guards internal invariants and
+/// throws InvariantViolation. Both stay enabled in release builds: the
+/// workloads here are graph-simulation scale, so the checks are cheap relative
+/// to the value of failing loudly.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "khop/common/error.hpp"
+
+namespace khop::detail {
+
+[[noreturn]] inline void throw_require(const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " - " << msg;
+  throw InvalidArgument(os.str());
+}
+
+[[noreturn]] inline void throw_assert(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " - " << msg;
+  throw InvariantViolation(os.str());
+}
+
+}  // namespace khop::detail
+
+#define KHOP_REQUIRE(expr, msg)                                       \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::khop::detail::throw_require(#expr, __FILE__, __LINE__, msg);  \
+  } while (false)
+
+#define KHOP_ASSERT(expr, msg)                                        \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::khop::detail::throw_assert(#expr, __FILE__, __LINE__, msg);   \
+  } while (false)

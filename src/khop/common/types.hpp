@@ -1,0 +1,22 @@
+/// \file types.hpp
+/// Fundamental vocabulary types shared by every khop module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace khop {
+
+/// Node identifier inside one network instance. Dense, 0-based.
+using NodeId = std::uint32_t;
+
+/// Hop count between two nodes (graph distance).
+using Hops = std::uint32_t;
+
+/// Sentinel "no node" value.
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Sentinel "unreachable" hop distance.
+inline constexpr Hops kUnreachable = std::numeric_limits<Hops>::max();
+
+}  // namespace khop

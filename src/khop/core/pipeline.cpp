@@ -1,0 +1,31 @@
+#include "khop/core/pipeline.hpp"
+
+#include "khop/cluster/validate.hpp"
+#include "khop/common/assert.hpp"
+
+namespace khop {
+
+ConnectedClusteringResult build_connected_clustering(
+    const Graph& g, const PipelineOptions& opts, const EnergyState* energy,
+    Rng* rng) {
+  const auto priorities = make_priorities(g, opts.priority, energy, rng);
+  ConnectedClusteringResult r;
+  r.clustering = khop_clustering(g, opts.k, priorities, opts.affiliation);
+  r.backbone = build_backbone(g, r.clustering, opts.pipeline);
+  r.cds = extract_cds(r.clustering, r.backbone);
+  if (opts.validate) {
+    std::string err = validate_clustering(g, r.clustering);
+    KHOP_ASSERT(err.empty(), "clustering invariants violated: " + err);
+    err = validate_k_cds(g, r.clustering, r.backbone);
+    KHOP_ASSERT(err.empty(), "backbone invariants violated: " + err);
+  }
+  return r;
+}
+
+ConnectedClusteringResult build_connected_clustering(
+    const AdHocNetwork& net, const PipelineOptions& opts,
+    const EnergyState* energy, Rng* rng) {
+  return build_connected_clustering(net.graph, opts, energy, rng);
+}
+
+}  // namespace khop

@@ -1,0 +1,45 @@
+/// \file pipeline.hpp
+/// Umbrella public API: one call from a network to a validated connected
+/// k-hop clustering backbone. This is the entry point the examples and the
+/// README quickstart use; the individual phases remain available in the
+/// lower-level modules for callers that need to customize.
+#pragma once
+
+#include <string>
+
+#include "khop/cds/cds.hpp"
+#include "khop/cluster/clustering.hpp"
+#include "khop/common/rng.hpp"
+#include "khop/gateway/backbone.hpp"
+#include "khop/net/energy.hpp"
+#include "khop/net/network.hpp"
+
+namespace khop {
+
+struct PipelineOptions {
+  Hops k = 2;
+  Pipeline pipeline = Pipeline::kAcLmst;
+  AffiliationRule affiliation = AffiliationRule::kIdBased;
+  PriorityRule priority = PriorityRule::kLowestId;
+  bool validate = true;  ///< run the Theorem-1/2 checkers (throws on failure)
+};
+
+struct ConnectedClusteringResult {
+  Clustering clustering;
+  Backbone backbone;
+  Cds cds;
+};
+
+/// Runs clustering (phase 1) + neighbor/gateway selection (phase 2).
+/// \p energy is required for PriorityRule::kHighestEnergy, \p rng for
+/// kRandomTimer.
+ConnectedClusteringResult build_connected_clustering(
+    const Graph& g, const PipelineOptions& opts = {},
+    const EnergyState* energy = nullptr, Rng* rng = nullptr);
+
+/// Convenience overload for a generated network.
+ConnectedClusteringResult build_connected_clustering(
+    const AdHocNetwork& net, const PipelineOptions& opts = {},
+    const EnergyState* energy = nullptr, Rng* rng = nullptr);
+
+}  // namespace khop

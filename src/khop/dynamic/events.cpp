@@ -1,0 +1,317 @@
+#include "khop/dynamic/events.hpp"
+
+#include <algorithm>
+
+#include "khop/common/assert.hpp"
+#include "khop/gateway/validate.hpp"
+#include "khop/graph/bfs.hpp"
+#include "khop/graph/components.hpp"
+
+namespace khop {
+
+FailureClass classify_failure(const Clustering& c, const Backbone& b,
+                              NodeId node) {
+  KHOP_REQUIRE(node < c.head_of.size(), "node out of range");
+  if (c.is_head(node)) return FailureClass::kClusterhead;
+  if (std::binary_search(b.gateways.begin(), b.gateways.end(), node)) {
+    return FailureClass::kGateway;
+  }
+  return FailureClass::kPlainMember;
+}
+
+namespace {
+
+/// Re-elects heads among the orphan set only: orphans within k hops of a
+/// surviving head join it (smallest-id tie-break); the rest run the paper's
+/// iterative lowest-id election restricted to undecided nodes. Surviving
+/// clusters are preserved verbatim. All ids are remainder-graph ids.
+Clustering repair_clustering(const Graph& rg, Hops k,
+                             const std::vector<NodeId>& preserved_heads,
+                             const std::vector<NodeId>& preserved_head_of,
+                             const std::vector<bool>& orphan,
+                             std::size_t* out_new_heads) {
+  const std::size_t n = rg.num_nodes();
+  Clustering result;
+  result.k = k;
+  result.head_of.assign(n, kInvalidNode);
+  result.dist_to_head.assign(n, kUnreachable);
+
+  std::vector<bool> decided(n, false);
+  std::size_t undecided_count = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!orphan[v]) {
+      decided[v] = true;
+      result.head_of[v] = preserved_head_of[v];
+    } else {
+      ++undecided_count;
+    }
+  }
+
+  // Step 1: orphans adopt a surviving head within k hops (nearest, then
+  // smallest id) - the paper's member-affiliation applied to live clusters.
+  if (!preserved_heads.empty() && undecided_count > 0) {
+    for (NodeId h : preserved_heads) {
+      const BfsTree ball = bfs_bounded(rg, h, k);
+      for (NodeId v = 0; v < n; ++v) {
+        if (!orphan[v] || decided[v] || ball.dist[v] == kUnreachable) continue;
+        // Adopt-best bookkeeping happens below; record candidates lazily by
+        // comparing against any previously recorded candidate.
+        if (result.head_of[v] == kInvalidNode ||
+            std::tuple(ball.dist[v], h) <
+                std::tuple(result.dist_to_head[v], result.head_of[v])) {
+          result.head_of[v] = h;
+          result.dist_to_head[v] = ball.dist[v];
+        }
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (orphan[v] && !decided[v] && result.head_of[v] != kInvalidNode) {
+        decided[v] = true;
+        --undecided_count;
+      }
+    }
+  }
+
+  // Step 2: iterative lowest-id election among the remaining orphans.
+  std::size_t new_heads = 0;
+  while (undecided_count > 0) {
+    std::vector<NodeId> winners;
+    for (NodeId u = 0; u < n; ++u) {
+      if (decided[u]) continue;
+      const BfsTree ball = bfs_bounded(rg, u, k);
+      bool best = true;
+      for (NodeId v = 0; v < n && best; ++v) {
+        if (v == u || decided[v] || ball.dist[v] == kUnreachable) continue;
+        if (v < u) best = false;
+      }
+      if (best) winners.push_back(u);
+    }
+    KHOP_ASSERT(!winners.empty(), "repair election made no progress");
+
+    std::vector<std::vector<std::pair<NodeId, Hops>>> heard(n);
+    for (NodeId w : winners) {
+      decided[w] = true;
+      --undecided_count;
+      result.head_of[w] = w;
+      result.dist_to_head[w] = 0;
+      ++new_heads;
+      const BfsTree ball = bfs_bounded(rg, w, k);
+      for (NodeId v = 0; v < n; ++v) {
+        if (decided[v] || ball.dist[v] == kUnreachable || v == w) continue;
+        heard[v].emplace_back(w, ball.dist[v]);
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (decided[v] || heard[v].empty()) continue;
+      const auto& best = *std::min_element(heard[v].begin(), heard[v].end());
+      decided[v] = true;
+      --undecided_count;
+      result.head_of[v] = best.first;
+      result.dist_to_head[v] = best.second;
+    }
+  }
+  *out_new_heads = new_heads;
+
+  // Finalize heads, cluster indices, and distances for preserved members.
+  std::vector<bool> is_head(n, false);
+  for (NodeId v = 0; v < n; ++v) is_head[result.head_of[v]] = true;
+  for (NodeId v = 0; v < n; ++v) {
+    if (is_head[v]) result.heads.push_back(v);
+  }
+  result.cluster_of.assign(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto it = std::lower_bound(result.heads.begin(), result.heads.end(),
+                                     result.head_of[v]);
+    KHOP_ASSERT(it != result.heads.end() && *it == result.head_of[v],
+                "repaired head_of references non-head");
+    result.cluster_of[v] =
+        static_cast<std::uint32_t>(std::distance(result.heads.begin(), it));
+  }
+  // Recompute member distances in the remainder graph (paths may have
+  // lengthened after the failure).
+  for (std::uint32_t i = 0; i < result.heads.size(); ++i) {
+    const BfsTree tree = bfs(rg, result.heads[i]);
+    for (NodeId v = 0; v < n; ++v) {
+      if (result.cluster_of[v] == i) result.dist_to_head[v] = tree.dist[v];
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+FailureRepairReport handle_node_failure(const Graph& g, const Clustering& c,
+                                        const Backbone& b, Pipeline pipeline,
+                                        NodeId failed) {
+  KHOP_REQUIRE(failed < g.num_nodes(), "failed node out of range");
+
+  FailureRepairReport rep;
+  rep.failure_class = classify_failure(c, b, failed);
+
+  // Remainder graph with dense relabelling.
+  std::vector<NodeId> keep;
+  keep.reserve(g.num_nodes() - 1);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (v != failed) keep.push_back(v);
+  }
+  rep.remainder = induced_subgraph(g, keep);
+  if (!is_connected(rep.remainder.graph)) {
+    rep.remainder_connected = false;
+    return rep;
+  }
+
+  // Count the heads whose virtual links routed through the failed node -
+  // the locality scope of the gateway-failure fix.
+  {
+    std::vector<bool> affected(g.num_nodes(), false);
+    const VirtualLinkMap links = VirtualLinkMap::build(g, b.virtual_links);
+    for (const auto& [u, v] : b.virtual_links) {
+      const auto& path = links.link(u, v).path;
+      if (std::find(path.begin(), path.end(), failed) != path.end()) {
+        affected[u] = true;
+        affected[v] = true;
+      }
+    }
+    rep.affected_heads = static_cast<std::size_t>(
+        std::count(affected.begin(), affected.end(), true));
+  }
+
+  const Graph& rg = rep.remainder.graph;
+  const auto to_new = [&](NodeId old_id) { return rep.remainder.new_id[old_id]; };
+
+  // Build the preserved clustering state in remainder ids.
+  std::vector<NodeId> preserved_heads;
+  std::vector<NodeId> preserved_head_of(rg.num_nodes(), kInvalidNode);
+  std::vector<bool> orphan(rg.num_nodes(), false);
+  const bool head_failed = rep.failure_class == FailureClass::kClusterhead;
+  for (NodeId old_h : c.heads) {
+    if (old_h == failed) continue;
+    preserved_heads.push_back(to_new(old_h));
+  }
+  rep.preserved_heads = preserved_heads.size();
+  for (NodeId old_v = 0; old_v < g.num_nodes(); ++old_v) {
+    if (old_v == failed) continue;
+    const NodeId nv = to_new(old_v);
+    if (head_failed && c.head_of[old_v] == failed) {
+      orphan[nv] = true;
+      ++rep.orphaned_members;
+    } else {
+      preserved_head_of[nv] = to_new(c.head_of[old_v]);
+    }
+  }
+
+  rep.clustering = repair_clustering(rg, c.k, preserved_heads,
+                                     preserved_head_of, orphan,
+                                     &rep.new_heads);
+
+  // Domination drift under the preserved memberships.
+  for (NodeId v = 0; v < rg.num_nodes(); ++v) {
+    if (rep.clustering.dist_to_head[v] > rep.clustering.k) {
+      ++rep.domination_violations;
+    }
+  }
+
+  // Phase 2. Per the paper a plain-member failure leaves the CDS untouched;
+  // we translate the old backbone. Gateway/head failures re-run selection.
+  if (rep.failure_class == FailureClass::kPlainMember) {
+    rep.backbone.pipeline = b.pipeline;
+    for (NodeId h : b.heads) rep.backbone.heads.push_back(to_new(h));
+    for (NodeId w : b.gateways) rep.backbone.gateways.push_back(to_new(w));
+    for (const auto& [u, v] : b.virtual_links) {
+      const NodeId nu = to_new(u);
+      const NodeId nv = to_new(v);
+      rep.backbone.virtual_links.emplace_back(std::min(nu, nv),
+                                              std::max(nu, nv));
+    }
+    std::sort(rep.backbone.heads.begin(), rep.backbone.heads.end());
+    std::sort(rep.backbone.gateways.begin(), rep.backbone.gateways.end());
+    std::sort(rep.backbone.virtual_links.begin(),
+              rep.backbone.virtual_links.end());
+  } else {
+    rep.backbone = build_backbone(rg, rep.clustering, pipeline);
+  }
+
+  rep.validation_error = validate_backbone(rg, rep.backbone);
+  return rep;
+}
+
+JoinRepairReport handle_node_join(const Graph& g, const Clustering& c,
+                                  const Backbone& b, Pipeline pipeline,
+                                  const std::vector<NodeId>& neighbors) {
+  KHOP_REQUIRE(!neighbors.empty(), "newcomer must attach to the network");
+  for (NodeId v : neighbors) {
+    KHOP_REQUIRE(v < g.num_nodes(), "newcomer neighbor out of range");
+  }
+
+  JoinRepairReport rep;
+  const auto new_id = static_cast<NodeId>(g.num_nodes());
+  rep.new_node = new_id;
+
+  // Grown graph: old edges plus the newcomer's links.
+  std::vector<std::pair<NodeId, NodeId>> edges = g.edge_list();
+  for (NodeId v : neighbors) edges.emplace_back(v, new_id);
+  rep.graph = Graph::from_edges(g.num_nodes() + 1, edges);
+
+  // Join policy: nearest head within k (ties: smaller id), else new head.
+  const BfsTree from_new = bfs_bounded(rep.graph, new_id, c.k);
+  NodeId adopted_head = kInvalidNode;
+  Hops adopted_dist = kUnreachable;
+  for (NodeId h : c.heads) {
+    const Hops d = from_new.dist[h];
+    if (d == kUnreachable) continue;
+    if (std::tuple(d, h) < std::tuple(adopted_dist, adopted_head)) {
+      adopted_head = h;
+      adopted_dist = d;
+    }
+  }
+
+  rep.clustering = c;
+  rep.clustering.head_of.push_back(kInvalidNode);
+  rep.clustering.dist_to_head.push_back(kUnreachable);
+  rep.clustering.cluster_of.push_back(0);
+
+  if (adopted_head != kInvalidNode) {
+    rep.outcome = JoinOutcome::kJoinedExistingCluster;
+    rep.clustering.head_of[new_id] = adopted_head;
+    rep.clustering.dist_to_head[new_id] = adopted_dist;
+  } else {
+    rep.outcome = JoinOutcome::kBecameClusterhead;
+    rep.clustering.head_of[new_id] = new_id;
+    rep.clustering.dist_to_head[new_id] = 0;
+    rep.clustering.heads.insert(
+        std::lower_bound(rep.clustering.heads.begin(),
+                         rep.clustering.heads.end(), new_id),
+        new_id);
+  }
+  // Rebuild cluster indices against the (possibly grown) head list.
+  for (NodeId v = 0; v < rep.graph.num_nodes(); ++v) {
+    const auto it =
+        std::lower_bound(rep.clustering.heads.begin(),
+                         rep.clustering.heads.end(),
+                         rep.clustering.head_of[v]);
+    KHOP_ASSERT(it != rep.clustering.heads.end() &&
+                    *it == rep.clustering.head_of[v],
+                "join produced inconsistent head_of");
+    rep.clustering.cluster_of[v] = static_cast<std::uint32_t>(
+        std::distance(rep.clustering.heads.begin(), it));
+  }
+
+  // Did the newcomer's links witness a cluster adjacency that did not exist
+  // before? (Locally detectable: compare its neighbors' clusters.)
+  const auto old_pairs = adjacent_cluster_pairs(g, c);
+  const auto new_pairs = adjacent_cluster_pairs(rep.graph, rep.clustering);
+  rep.adjacency_changed =
+      rep.outcome == JoinOutcome::kBecameClusterhead ||
+      new_pairs.size() != old_pairs.size();
+
+  if (rep.adjacency_changed) {
+    rep.backbone = build_backbone(rep.graph, rep.clustering, pipeline);
+  } else {
+    // CDS untouched: translate the old backbone (ids are stable).
+    rep.backbone = b;
+  }
+  rep.validation_error = validate_backbone(rep.graph, rep.backbone);
+  return rep;
+}
+
+}  // namespace khop

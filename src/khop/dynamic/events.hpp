@@ -1,0 +1,93 @@
+/// \file events.hpp
+/// Node-disappearance maintenance (paper section 3.3):
+///
+/// * plain member fails  -> nothing to do for the existing CDS;
+/// * gateway fails       -> the affected clusterheads re-run gateway
+///                          selection (local fix);
+/// * clusterhead fails   -> the clusterhead selection process is re-applied
+///                          for the orphaned cluster.
+///
+/// All repairs keep every surviving cluster intact; re-election is confined
+/// to orphans that cannot join a surviving cluster. Results are expressed in
+/// the remainder graph's id space with maps back to the original ids.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "khop/cluster/clustering.hpp"
+#include "khop/gateway/backbone.hpp"
+#include "khop/graph/subgraph.hpp"
+
+namespace khop {
+
+enum class FailureClass : std::uint8_t {
+  kPlainMember,
+  kGateway,
+  kClusterhead,
+};
+
+/// Classifies \p node against the current backbone.
+FailureClass classify_failure(const Clustering& c, const Backbone& b,
+                              NodeId node);
+
+struct FailureRepairReport {
+  FailureClass failure_class = FailureClass::kPlainMember;
+  /// False when removing the node disconnects G; the repair is then not
+  /// performed (the paper's model assumes a connected remainder).
+  bool remainder_connected = true;
+
+  /// Remainder graph (n-1 nodes) and id maps (original <-> remainder).
+  InducedSubgraph remainder;
+  /// Repaired clustering/backbone over remainder ids.
+  Clustering clustering;
+  Backbone backbone;
+
+  std::size_t orphaned_members = 0;  ///< members needing a new cluster
+  std::size_t new_heads = 0;         ///< heads elected during the repair
+  std::size_t preserved_heads = 0;   ///< surviving heads kept as-is
+  /// Heads whose gateway choices referenced the failed node (the scope of
+  /// the paper's "local fix" for gateway failures).
+  std::size_t affected_heads = 0;
+  /// Members whose hop distance to their preserved head now exceeds k.
+  /// The paper's policy tolerates this; callers may trigger a full rebuild.
+  std::size_t domination_violations = 0;
+  /// Empty when the repaired backbone passes validate_backbone.
+  std::string validation_error;
+};
+
+/// Applies the section-3.3 policy for the failure of \p failed.
+/// \pre failed < g.num_nodes(); g connected; c/b consistent with g
+FailureRepairReport handle_node_failure(const Graph& g, const Clustering& c,
+                                        const Backbone& b, Pipeline pipeline,
+                                        NodeId failed);
+
+/// How a switched-on node was absorbed (section 3.3's "switch-on" case).
+enum class JoinOutcome : std::uint8_t {
+  kJoinedExistingCluster,  ///< a head within k hops adopted it
+  kBecameClusterhead,      ///< no head within k: it declares itself head
+};
+
+struct JoinRepairReport {
+  JoinOutcome outcome = JoinOutcome::kJoinedExistingCluster;
+  NodeId new_node = kInvalidNode;  ///< id in the grown graph (== old n)
+  Graph graph;                     ///< grown graph (n+1 nodes)
+  Clustering clustering;
+  Backbone backbone;
+  /// True when the new node's edges created cluster adjacencies that did
+  /// not exist before (phase 2 had to be re-run even for a member join).
+  bool adjacency_changed = false;
+  std::string validation_error;  ///< empty when the result validates
+};
+
+/// Handles a node switching on with links to \p neighbors (all < n).
+/// Join policy: adopt the nearest head within k hops (ties: smaller id);
+/// otherwise the newcomer - being > k from every head - becomes a head
+/// itself, preserving the k-hop independent set. Phase 2 re-runs when the
+/// backbone could be affected.
+/// \pre neighbors non-empty (the newcomer must attach to the network)
+JoinRepairReport handle_node_join(const Graph& g, const Clustering& c,
+                                  const Backbone& b, Pipeline pipeline,
+                                  const std::vector<NodeId>& neighbors);
+
+}  // namespace khop

@@ -1,0 +1,94 @@
+#include "khop/dynamic/rotation.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "khop/common/assert.hpp"
+#include "khop/graph/components.hpp"
+#include "khop/graph/subgraph.hpp"
+
+namespace khop {
+
+RotationResult run_rotation(const AdHocNetwork& net, const RotationConfig& cfg,
+                            Rng& rng) {
+  KHOP_REQUIRE(cfg.max_epochs > 0, "need at least one epoch");
+  const std::size_t n = net.num_nodes();
+  EnergyState energy(cfg.energy, n);
+
+  RotationResult result;
+  result.first_death_epoch = cfg.max_epochs;
+  std::set<NodeId> previous_heads;
+  bool recorded_death = false;
+
+  for (std::size_t epoch = 0; epoch < cfg.max_epochs; ++epoch) {
+    // Alive subgraph (original ids preserved through the mapping).
+    std::vector<NodeId> alive_nodes;
+    for (NodeId v = 0; v < n; ++v) {
+      if (energy.alive(v)) alive_nodes.push_back(v);
+    }
+    if (alive_nodes.size() < 2) break;
+    const InducedSubgraph sub = induced_subgraph(net.graph, alive_nodes);
+    if (!is_connected(sub.graph)) {
+      result.stopped_disconnected = true;
+      break;
+    }
+
+    // Residual-energy election (ties by id) on the alive subgraph. The
+    // EnergyState is indexed by original ids; build keys accordingly.
+    std::vector<PriorityKey> keys(sub.graph.num_nodes());
+    for (NodeId v = 0; v < sub.graph.num_nodes(); ++v) {
+      keys[v] = {.key = cfg.priority == PriorityRule::kHighestEnergy
+                            ? -energy.residual(sub.original_ids[v])
+                            : 0.0,
+                 .id = v};
+    }
+    if (cfg.priority == PriorityRule::kRandomTimer) {
+      for (auto& k : keys) k.key = rng.uniform();
+    }
+
+    const Clustering clustering =
+        khop_clustering(sub.graph, cfg.k, keys, AffiliationRule::kIdBased);
+    const Backbone backbone = build_backbone(sub.graph, clustering, cfg.pipeline);
+
+    // Account the epoch.
+    RotationEpoch e;
+    e.epoch = epoch;
+    e.alive = alive_nodes.size();
+    e.heads = backbone.heads.size();
+    e.gateways = backbone.gateways.size();
+
+    std::set<NodeId> current_heads;
+    for (NodeId h : backbone.heads) current_heads.insert(sub.original_ids[h]);
+    for (NodeId h : current_heads) {
+      if (!previous_heads.contains(h)) ++e.head_churn;
+    }
+    previous_heads = current_heads;
+
+    // Drain energy by role (roles over original ids).
+    std::vector<NodeRole> roles(n, NodeRole::kMember);
+    const auto sub_roles = backbone.roles(sub.graph.num_nodes());
+    for (NodeId v = 0; v < sub.graph.num_nodes(); ++v) {
+      roles[sub.original_ids[v]] = sub_roles[v];
+    }
+    energy.apply_epoch(roles);
+
+    double min_res = cfg.energy.initial;
+    double sum_res = 0.0;
+    for (NodeId v : alive_nodes) {
+      min_res = std::min(min_res, energy.residual(v));
+      sum_res += energy.residual(v);
+    }
+    e.min_residual = min_res;
+    e.mean_residual = sum_res / static_cast<double>(alive_nodes.size());
+    result.epochs.push_back(e);
+
+    if (!recorded_death && energy.alive_count() < n) {
+      result.first_death_epoch = epoch + 1;
+      recorded_death = true;
+    }
+  }
+  return result;
+}
+
+}  // namespace khop

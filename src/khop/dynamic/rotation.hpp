@@ -1,0 +1,50 @@
+/// \file rotation.hpp
+/// Power-aware clusterhead rotation (paper section 3.3): residual energy
+/// replaces lowest-ID as the election priority so the costly head role
+/// rotates and the network lifetime stretches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "khop/cluster/clustering.hpp"
+#include "khop/common/rng.hpp"
+#include "khop/gateway/backbone.hpp"
+#include "khop/net/energy.hpp"
+#include "khop/net/network.hpp"
+
+namespace khop {
+
+struct RotationConfig {
+  Hops k = 2;
+  Pipeline pipeline = Pipeline::kAcLmst;
+  PriorityRule priority = PriorityRule::kHighestEnergy;
+  std::size_t max_epochs = 200;
+  EnergyConfig energy;
+};
+
+struct RotationEpoch {
+  std::size_t epoch = 0;
+  std::size_t alive = 0;
+  std::size_t heads = 0;
+  std::size_t gateways = 0;
+  std::size_t head_churn = 0;  ///< heads not heads in the previous epoch
+  double min_residual = 0.0;
+  double mean_residual = 0.0;
+};
+
+struct RotationResult {
+  std::vector<RotationEpoch> epochs;
+  /// First epoch at which some node's energy hit zero (the usual lifetime
+  /// metric); equals epochs.size() if nobody died.
+  std::size_t first_death_epoch = 0;
+  /// True when the run stopped because the alive subgraph disconnected.
+  bool stopped_disconnected = false;
+};
+
+/// Runs rotating re-clustering epochs until max_epochs, the alive subgraph
+/// disconnects, or fewer than 2 nodes remain.
+RotationResult run_rotation(const AdHocNetwork& net, const RotationConfig& cfg,
+                            Rng& rng);
+
+}  // namespace khop

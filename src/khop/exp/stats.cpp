@@ -1,0 +1,48 @@
+#include "khop/exp/stats.hpp"
+
+#include <array>
+#include <cmath>
+#include <limits>
+
+namespace khop {
+
+void RunningStats::add(double x) noexcept {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double student_t_90(std::size_t df) noexcept {
+  // Two-sided 90% (alpha = 0.10, 0.95 quantile), df = 1..30.
+  static constexpr std::array<double, 30> table = {
+      6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812,
+      1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725,
+      1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701, 1.699, 1.697};
+  if (df == 0) return table[0];
+  if (df <= table.size()) return table[df - 1];
+  return 1.645;  // normal approximation
+}
+
+double ci_halfwidth_90(const RunningStats& s) noexcept {
+  if (s.count() < 2) return std::numeric_limits<double>::infinity();
+  return student_t_90(s.count() - 1) * s.stddev() /
+         std::sqrt(static_cast<double>(s.count()));
+}
+
+bool ci_within_relative(const RunningStats& s, double rel) noexcept {
+  if (s.count() < 2) return false;
+  const double hw = ci_halfwidth_90(s);
+  const double m = std::abs(s.mean());
+  if (m == 0.0) return hw == 0.0;
+  return hw <= rel * m;
+}
+
+}  // namespace khop

@@ -1,0 +1,39 @@
+/// \file stats.hpp
+/// Streaming statistics and the paper's stopping rule: repeat each
+/// configuration until the 90%-confidence interval half-width is within
+/// +-1% of the mean (or a trial cap is reached).
+#pragma once
+
+#include <cstddef>
+
+namespace khop {
+
+/// Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 for fewer than 2 samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Two-sided Student-t critical value at 90% confidence for \p df degrees of
+/// freedom (exact table for df <= 30, normal 1.645 beyond).
+double student_t_90(std::size_t df) noexcept;
+
+/// Half-width of the 90% confidence interval for the mean.
+double ci_halfwidth_90(const RunningStats& s) noexcept;
+
+/// True once the 90% CI half-width is <= rel * |mean| (needs >= 2 samples;
+/// a zero mean is satisfied only by zero variance).
+bool ci_within_relative(const RunningStats& s, double rel) noexcept;
+
+}  // namespace khop

@@ -1,0 +1,68 @@
+#include "khop/exp/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "khop/common/assert.hpp"
+
+namespace khop {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  KHOP_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  KHOP_REQUIRE(cells.size() == headers_.size(),
+               "row arity does not match headers");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(width[c]))
+         << row[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c == 0 ? 0 : 2);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string TextTable::to_csv() const {
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : ",") << row[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string fmt(double value, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << value;
+  return os.str();
+}
+
+}  // namespace khop

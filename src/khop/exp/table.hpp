@@ -1,0 +1,33 @@
+/// \file table.hpp
+/// Plain-text table and CSV emission for the benchmark harnesses: each bench
+/// prints the same rows/series the paper's figures plot.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace khop {
+
+/// Column-aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Writes the table with right-aligned columns and a header rule.
+  void print(std::ostream& os) const;
+
+  /// Serializes as CSV (no quoting; cells must not contain commas).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with \p decimals digits.
+std::string fmt(double value, int decimals = 2);
+
+}  // namespace khop

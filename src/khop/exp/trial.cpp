@@ -1,0 +1,60 @@
+#include "khop/exp/trial.hpp"
+
+#include <algorithm>
+
+#include "khop/common/assert.hpp"
+
+namespace khop {
+
+TrialSummary run_trials(ThreadPool& pool, const TrialPolicy& policy,
+                        const Rng& master, std::size_t metric_count,
+                        const TrialFn& fn) {
+  KHOP_REQUIRE(metric_count > 0, "need at least one metric");
+  KHOP_REQUIRE(policy.max_trials >= policy.min_trials,
+               "max_trials < min_trials");
+  KHOP_REQUIRE(policy.batch > 0, "batch must be positive");
+
+  TrialSummary summary;
+  summary.metrics.assign(metric_count, RunningStats{});
+
+  std::size_t next_trial = 0;
+  while (next_trial < policy.max_trials) {
+    const std::size_t batch_end =
+        std::min(policy.max_trials, next_trial + policy.batch);
+    const std::size_t batch_size = batch_end - next_trial;
+
+    // Results land in per-trial slots; aggregation below is in index order,
+    // so the summary is bit-identical for any thread count.
+    std::vector<std::vector<double>> results(batch_size);
+    parallel_for(pool, batch_size, [&](std::size_t i) {
+      const std::size_t trial = next_trial + i;
+      Rng rng = master.spawn(trial);
+      results[i] = fn(rng, trial);
+    });
+
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      KHOP_REQUIRE(results[i].size() == metric_count,
+                   "trial returned wrong metric arity");
+      for (std::size_t m = 0; m < metric_count; ++m) {
+        summary.metrics[m].add(results[i][m]);
+      }
+    }
+    next_trial = batch_end;
+    summary.trials_run = next_trial;
+
+    if (next_trial >= policy.min_trials) {
+      const bool all_tight = std::all_of(
+          summary.metrics.begin(), summary.metrics.end(),
+          [&](const RunningStats& s) {
+            return ci_within_relative(s, policy.rel_halfwidth);
+          });
+      if (all_tight) {
+        summary.converged = true;
+        break;
+      }
+    }
+  }
+  return summary;
+}
+
+}  // namespace khop

@@ -1,0 +1,44 @@
+/// \file trial.hpp
+/// Parallel Monte-Carlo trial runner with the paper's adaptive stopping rule.
+///
+/// Trials are independent and deterministic: trial i draws from the master
+/// rng's spawned stream i, so the aggregate is identical for any thread
+/// count or scheduling. Trials run in batches; after each batch the stopping
+/// rule is evaluated on every metric.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "khop/common/rng.hpp"
+#include "khop/exp/stats.hpp"
+#include "khop/runtime/thread_pool.hpp"
+
+namespace khop {
+
+struct TrialPolicy {
+  std::size_t min_trials = 30;
+  std::size_t max_trials = 100;  ///< paper: "repeated 100 times or until the
+                                 ///< confidence interval is sufficiently small"
+  double rel_halfwidth = 0.01;   ///< +-1%
+  std::size_t batch = 25;
+};
+
+/// One trial: given its private rng, produce one value per metric.
+/// Must be thread-safe w.r.t. shared state (treat captures as read-only).
+using TrialFn = std::function<std::vector<double>(Rng&, std::size_t trial)>;
+
+struct TrialSummary {
+  std::vector<RunningStats> metrics;
+  std::size_t trials_run = 0;
+  bool converged = false;  ///< stopped by CI rule rather than the cap
+};
+
+/// Runs \p fn under \p policy using \p pool. \p metric_count is the arity of
+/// the metric vector fn returns (checked).
+TrialSummary run_trials(ThreadPool& pool, const TrialPolicy& policy,
+                        const Rng& master, std::size_t metric_count,
+                        const TrialFn& fn);
+
+}  // namespace khop

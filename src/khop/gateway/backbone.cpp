@@ -1,0 +1,108 @@
+#include "khop/gateway/backbone.hpp"
+
+#include "khop/common/assert.hpp"
+#include "khop/gateway/gmst.hpp"
+#include "khop/gateway/lmst.hpp"
+#include "khop/gateway/mesh.hpp"
+
+namespace khop {
+
+std::string_view pipeline_name(Pipeline p) {
+  switch (p) {
+    case Pipeline::kNcMesh: return "NC-Mesh";
+    case Pipeline::kAcMesh: return "AC-Mesh";
+    case Pipeline::kNcLmst: return "NC-LMST";
+    case Pipeline::kAcLmst: return "AC-LMST";
+    case Pipeline::kGmst:   return "G-MST";
+  }
+  KHOP_ASSERT(false, "unknown pipeline");
+  return {};
+}
+
+BackboneSpec spec_for(Pipeline p) {
+  BackboneSpec spec;
+  switch (p) {
+    case Pipeline::kNcMesh:
+      spec.neighbor_rule = NeighborRule::kAllWithin2k1;
+      spec.gateway = GatewayAlgorithm::kMesh;
+      break;
+    case Pipeline::kAcMesh:
+      spec.neighbor_rule = NeighborRule::kAdjacent;
+      spec.gateway = GatewayAlgorithm::kMesh;
+      break;
+    case Pipeline::kNcLmst:
+      spec.neighbor_rule = NeighborRule::kAllWithin2k1;
+      spec.gateway = GatewayAlgorithm::kLmst;
+      break;
+    case Pipeline::kAcLmst:
+      spec.neighbor_rule = NeighborRule::kAdjacent;
+      spec.gateway = GatewayAlgorithm::kLmst;
+      break;
+    case Pipeline::kGmst:
+      spec.gateway = GatewayAlgorithm::kGmst;
+      break;
+  }
+  return spec;
+}
+
+std::vector<bool> Backbone::cds_mask(std::size_t n) const {
+  std::vector<bool> mask(n, false);
+  for (NodeId h : heads) {
+    KHOP_REQUIRE(h < n, "head out of range");
+    mask[h] = true;
+  }
+  for (NodeId g : gateways) {
+    KHOP_REQUIRE(g < n, "gateway out of range");
+    mask[g] = true;
+  }
+  return mask;
+}
+
+std::vector<NodeRole> Backbone::roles(std::size_t n) const {
+  std::vector<NodeRole> r(n, NodeRole::kMember);
+  for (NodeId g : gateways) {
+    KHOP_REQUIRE(g < n, "gateway out of range");
+    r[g] = NodeRole::kGateway;
+  }
+  for (NodeId h : heads) {
+    KHOP_REQUIRE(h < n, "head out of range");
+    r[h] = NodeRole::kClusterhead;
+  }
+  return r;
+}
+
+Backbone build_backbone(const Graph& g, const Clustering& c,
+                        const BackboneSpec& spec) {
+  Backbone b;
+  b.spec = spec;
+  b.heads = c.heads;
+
+  if (spec.gateway == GatewayAlgorithm::kGmst) {
+    GmstResult r = gmst_gateways(g, c);
+    b.gateways = std::move(r.gateways);
+    b.virtual_links = std::move(r.kept_links);
+    return b;
+  }
+
+  const NeighborSelection sel = select_neighbors(g, c, spec.neighbor_rule);
+  const VirtualLinkMap links = VirtualLinkMap::build(g, sel.head_pairs);
+
+  if (spec.gateway == GatewayAlgorithm::kMesh) {
+    MeshResult r = mesh_gateways(c, sel, links);
+    b.gateways = std::move(r.gateways);
+    b.virtual_links = std::move(r.kept_links);
+  } else {
+    LmstResult r = lmst_gateways(c, sel, links, spec.lmst_keep);
+    b.gateways = std::move(r.gateways);
+    b.virtual_links = std::move(r.kept_links);
+  }
+  return b;
+}
+
+Backbone build_backbone(const Graph& g, const Clustering& c, Pipeline p) {
+  Backbone b = build_backbone(g, c, spec_for(p));
+  b.pipeline = p;
+  return b;
+}
+
+}  // namespace khop

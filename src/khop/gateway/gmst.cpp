@@ -1,0 +1,56 @@
+#include "khop/gateway/gmst.hpp"
+
+#include <algorithm>
+
+#include "khop/common/assert.hpp"
+#include "khop/graph/bfs.hpp"
+
+namespace khop {
+
+GmstResult gmst_gateways(const Graph& g, const Clustering& c) {
+  KHOP_REQUIRE(!c.heads.empty(), "clustering has no heads");
+  const std::size_t h = c.heads.size();
+
+  // Complete virtual graph over heads; indices into c.heads.
+  std::vector<WeightedEdge> edges;
+  edges.reserve(h * (h - 1) / 2);
+  for (std::size_t i = 0; i < h; ++i) {
+    const BfsTree tree = bfs(g, c.heads[i]);
+    for (std::size_t j = i + 1; j < h; ++j) {
+      const Hops d = tree.dist[c.heads[j]];
+      KHOP_ASSERT(d != kUnreachable, "heads disconnected in G");
+      edges.push_back(
+          {static_cast<NodeId>(i), static_cast<NodeId>(j), d});
+    }
+  }
+
+  GmstResult r;
+  // Head indices are ascending in id, so index tie-breaking == id
+  // tie-breaking; translate back to ids afterwards.
+  for (const auto& e : kruskal_mst(h, std::move(edges))) {
+    r.tree.push_back({c.heads[e.u], c.heads[e.v], e.weight});
+  }
+
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  pairs.reserve(r.tree.size());
+  for (const auto& e : r.tree) {
+    pairs.emplace_back(std::min(e.u, e.v), std::max(e.u, e.v));
+  }
+  const VirtualLinkMap links = VirtualLinkMap::build(g, pairs);
+
+  std::sort(pairs.begin(), pairs.end());
+  r.kept_links = pairs;
+  for (const auto& [u, v] : pairs) {
+    const VirtualLink& link = links.link(u, v);
+    for (std::size_t i = 1; i + 1 < link.path.size(); ++i) {
+      const NodeId w = link.path[i];
+      if (!c.is_head(w)) r.gateways.push_back(w);
+    }
+  }
+  std::sort(r.gateways.begin(), r.gateways.end());
+  r.gateways.erase(std::unique(r.gateways.begin(), r.gateways.end()),
+                   r.gateways.end());
+  return r;
+}
+
+}  // namespace khop

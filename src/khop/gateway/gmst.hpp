@@ -1,0 +1,28 @@
+/// \file gmst.hpp
+/// G-MST: the centralized global-minimum-spanning-tree baseline the paper
+/// uses as a lower bound. Builds the complete virtual graph over all
+/// clusterheads (weight = hop distance in G), takes its MST, and marks the
+/// interior nodes of the tree edges' canonical shortest paths as gateways.
+#pragma once
+
+#include <vector>
+
+#include "khop/cluster/clustering.hpp"
+#include "khop/gateway/virtual_link.hpp"
+#include "khop/graph/mst.hpp"
+
+namespace khop {
+
+struct GmstResult {
+  /// MST edges over head ids (weights are hop distances).
+  std::vector<WeightedEdge> tree;
+  /// Realized head pairs, (min,max), sorted.
+  std::vector<std::pair<NodeId, NodeId>> kept_links;
+  /// Interior nodes of tree-edge paths, minus heads. Sorted.
+  std::vector<NodeId> gateways;
+};
+
+/// Computes the G-MST backbone for \p c over \p g.
+GmstResult gmst_gateways(const Graph& g, const Clustering& c);
+
+}  // namespace khop

@@ -1,0 +1,50 @@
+/// \file lmst.hpp
+/// LMST-based gateway algorithm (LMSTGA, paper section 3.2).
+///
+/// Each clusterhead u views its selected neighbor heads S(u) as a virtual
+/// 1-hop neighborhood: it knows every virtual link among {u} ∪ S(u) (each
+/// head broadcasts its own S and distances - step 7 of Algorithm AC-LMST)
+/// and builds a local minimum spanning tree rooted at itself, using hop
+/// counts as weights and head-id pairs to break ties. Only the on-tree links
+/// incident to u are kept by u; a virtual link survives if either endpoint
+/// keeps it (the LMST G0 union), exactly the structure Theorem 2's induction
+/// requires. Interior nodes of surviving links become gateways.
+#pragma once
+
+#include <vector>
+
+#include "khop/cluster/clustering.hpp"
+#include "khop/gateway/virtual_link.hpp"
+#include "khop/nbr/neighbor_rules.hpp"
+
+namespace khop {
+
+/// Which directed keep-decisions realize a virtual link.
+///
+/// Li-Hou-Sha prove connectivity for both the union graph G0 (a link
+/// survives if either endpoint keeps it) and the intersection G0 ∩ G1 (both
+/// endpoints must keep it); the paper's Theorem 2 induction goes through for
+/// either. Union is the faithful reading of LMSTGA ("each clusterhead
+/// selects the on-tree neighbors to connect to"); intersection prunes the
+/// one-sided links and is provided as an ablation.
+enum class LmstKeepRule : std::uint8_t {
+  kEitherEndpoint,  ///< G0 union - paper default
+  kBothEndpoints,   ///< G0 ∩ G1 - stricter, still connected
+};
+
+struct LmstResult {
+  /// Virtual links kept by at least one endpoint, as (min,max) head ids.
+  std::vector<std::pair<NodeId, NodeId>> kept_links;
+  /// Interior nodes of kept links, minus clusterheads. Sorted.
+  std::vector<NodeId> gateways;
+  /// Links kept by exactly one endpoint (diagnostic: the LMST G0 asymmetry).
+  std::size_t asymmetric_links = 0;
+};
+
+/// Runs LMSTGA on the given neighbor selection.
+/// \pre every selected pair has a virtual link in \p links
+LmstResult lmst_gateways(const Clustering& c, const NeighborSelection& sel,
+                         const VirtualLinkMap& links,
+                         LmstKeepRule keep = LmstKeepRule::kEitherEndpoint);
+
+}  // namespace khop

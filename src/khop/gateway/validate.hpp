@@ -1,0 +1,18 @@
+/// \file validate.hpp
+/// Backbone invariant checkers (Theorems 1 & 2 in executable form).
+#pragma once
+
+#include <string>
+
+#include "khop/gateway/backbone.hpp"
+#include "khop/graph/graph.hpp"
+
+namespace khop {
+
+/// Verifies the backbone: heads/gateways disjoint and in range; every
+/// realized virtual link's endpoints are heads; the CDS (heads ∪ gateways)
+/// induces a connected subgraph of g (Theorem 2). Returns an empty string on
+/// success, else a description of the first violation.
+std::string validate_backbone(const Graph& g, const Backbone& b);
+
+}  // namespace khop

@@ -1,0 +1,59 @@
+#include "khop/gateway/virtual_link.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "khop/common/assert.hpp"
+#include "khop/common/error.hpp"
+#include "khop/graph/bfs.hpp"
+
+namespace khop {
+
+std::uint64_t VirtualLinkMap::key(NodeId a, NodeId b) noexcept {
+  const NodeId lo = std::min(a, b);
+  const NodeId hi = std::max(a, b);
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+VirtualLinkMap VirtualLinkMap::build(
+    const Graph& g, const std::vector<std::pair<NodeId, NodeId>>& pairs) {
+  VirtualLinkMap m;
+
+  // Group pairs by smaller endpoint so each source needs a single BFS.
+  std::map<NodeId, std::vector<NodeId>> by_source;
+  for (const auto& [a, b] : pairs) {
+    KHOP_REQUIRE(a != b, "virtual link endpoints must differ");
+    by_source[std::min(a, b)].push_back(std::max(a, b));
+  }
+
+  for (auto& [src, targets] : by_source) {
+    const BfsTree tree = bfs(g, src);
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+    for (NodeId dst : targets) {
+      if (tree.dist[dst] == kUnreachable) {
+        throw NotConnected("virtual link endpoints are disconnected in G");
+      }
+      VirtualLink link;
+      link.u = src;
+      link.v = dst;
+      link.hops = tree.dist[dst];
+      link.path = extract_path(tree, dst);
+      m.index_.emplace(key(src, dst), m.links_.size());
+      m.links_.push_back(std::move(link));
+    }
+  }
+  return m;
+}
+
+const VirtualLink& VirtualLinkMap::link(NodeId a, NodeId b) const {
+  const auto it = index_.find(key(a, b));
+  KHOP_REQUIRE(it != index_.end(), "virtual link not built for this pair");
+  return links_[it->second];
+}
+
+bool VirtualLinkMap::contains(NodeId a, NodeId b) const {
+  return index_.contains(key(a, b));
+}
+
+}  // namespace khop

@@ -1,0 +1,49 @@
+/// \file virtual_link.hpp
+/// Virtual links between clusterheads (paper section 3.2): for a selected
+/// head pair, the canonical shortest path in G connecting them; its hop count
+/// is the pair's "virtual distance" and its interior nodes are the gateway
+/// candidates.
+///
+/// Canonicality: the path is extracted from a min-id-parent BFS rooted at the
+/// smaller head id, so the same topology always yields the same gateways.
+#pragma once
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "khop/common/types.hpp"
+#include "khop/graph/graph.hpp"
+
+namespace khop {
+
+struct VirtualLink {
+  NodeId u = kInvalidNode;  ///< smaller head id
+  NodeId v = kInvalidNode;  ///< larger head id
+  Hops hops = 0;            ///< virtual distance
+  std::vector<NodeId> path; ///< canonical shortest path u..v inclusive
+};
+
+/// Canonical-shortest-path store for a set of head pairs.
+class VirtualLinkMap {
+ public:
+  /// Builds links for all \p pairs (unordered (min,max) head-id pairs).
+  /// One BFS per distinct smaller endpoint.
+  static VirtualLinkMap build(
+      const Graph& g, const std::vector<std::pair<NodeId, NodeId>>& pairs);
+
+  /// Link for the unordered pair {a, b}. Throws InvalidArgument if absent.
+  const VirtualLink& link(NodeId a, NodeId b) const;
+
+  bool contains(NodeId a, NodeId b) const;
+
+  const std::vector<VirtualLink>& all() const noexcept { return links_; }
+
+ private:
+  std::vector<VirtualLink> links_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+
+  static std::uint64_t key(NodeId a, NodeId b) noexcept;
+};
+
+}  // namespace khop

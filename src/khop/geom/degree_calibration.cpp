@@ -1,0 +1,71 @@
+#include "khop/geom/degree_calibration.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "khop/common/assert.hpp"
+#include "khop/geom/placement.hpp"
+
+namespace khop {
+
+double analytic_radius(std::size_t n, double avg_degree, const Field& field) {
+  KHOP_REQUIRE(n >= 2, "need at least two nodes");
+  KHOP_REQUIRE(avg_degree > 0.0, "average degree must be positive");
+  return std::sqrt(avg_degree * field.area() /
+                   (std::numbers::pi * static_cast<double>(n - 1)));
+}
+
+double measured_mean_degree(const std::vector<Point2>& pts, double r) {
+  KHOP_REQUIRE(!pts.empty(), "empty placement");
+  const double r2 = r * r;
+  std::size_t links = 0;  // undirected pair count
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      if (distance_sq(pts[i], pts[j]) <= r2) ++links;
+    }
+  }
+  return 2.0 * static_cast<double>(links) / static_cast<double>(pts.size());
+}
+
+double calibrate_radius(std::size_t n, double avg_degree, const Field& field,
+                        Rng rng, const CalibrationOptions& opts) {
+  KHOP_REQUIRE(n >= 2, "need at least two nodes");
+  KHOP_REQUIRE(avg_degree > 0.0 && avg_degree < static_cast<double>(n - 1),
+               "target degree out of range");
+
+  // Pre-draw the sample placements once so every bisection probe scores the
+  // same topologies - this keeps the probe function monotone in r.
+  std::vector<std::vector<Point2>> samples;
+  samples.reserve(opts.sample_placements);
+  for (std::size_t i = 0; i < opts.sample_placements; ++i) {
+    Rng child = rng.spawn(i);
+    samples.push_back(place_uniform(n, field, child));
+  }
+  const auto probe = [&](double r) {
+    double total = 0.0;
+    for (const auto& pts : samples) total += measured_mean_degree(pts, r);
+    return total / static_cast<double>(samples.size());
+  };
+
+  // The analytic radius ignores border loss, so it is a lower bound on the
+  // radius needed to reach the target realized degree.
+  double lo = analytic_radius(n, avg_degree, field);
+  double hi = lo * 1.6;
+  while (probe(hi) < avg_degree && hi < field.side * 1.5) hi *= 1.3;
+
+  double mid = lo;
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    mid = 0.5 * (lo + hi);
+    const double got = probe(mid);
+    if (std::abs(got - avg_degree) <= opts.tolerance) return mid;
+    if (got < avg_degree) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return mid;
+}
+
+}  // namespace khop

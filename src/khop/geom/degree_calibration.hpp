@@ -1,0 +1,40 @@
+/// \file degree_calibration.hpp
+/// Mapping between transmission radius and expected average node degree.
+///
+/// The paper parameterizes topologies by *average node degree* D (6 or 10),
+/// not by radius. For N nodes uniform in a field of area A, ignoring border
+/// effects, E[deg] = (N-1) * pi * r^2 / A, giving the analytic radius below.
+/// Border effects shave ~8-15% off the realized mean degree at the paper's
+/// scales, so the generator can instead calibrate the radius empirically by
+/// bisection against sampled placements.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "khop/common/rng.hpp"
+#include "khop/geom/point.hpp"
+
+namespace khop {
+
+/// Radius whose unit-disk expectation (borders ignored) equals \p avg_degree.
+/// \pre n >= 2, avg_degree > 0
+double analytic_radius(std::size_t n, double avg_degree, const Field& field);
+
+/// Measured mean degree of the unit-disk graph over \p pts at radius \p r.
+double measured_mean_degree(const std::vector<Point2>& pts, double r);
+
+/// Options for empirical calibration.
+struct CalibrationOptions {
+  std::size_t sample_placements = 24;  ///< placements averaged per probe
+  double tolerance = 0.05;             ///< acceptable |mean - target| (abs)
+  std::size_t max_iterations = 40;     ///< bisection iteration cap
+};
+
+/// Bisects the radius until the sampled mean degree of uniform placements
+/// matches \p avg_degree within tolerance. Deterministic given \p rng seed.
+/// \pre n >= 2, avg_degree in (0, n-1)
+double calibrate_radius(std::size_t n, double avg_degree, const Field& field,
+                        Rng rng, const CalibrationOptions& opts = {});
+
+}  // namespace khop

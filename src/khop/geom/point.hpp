@@ -1,0 +1,40 @@
+/// \file point.hpp
+/// Plain 2-D geometry used by the unit-disk network model.
+#pragma once
+
+#include <cmath>
+
+namespace khop {
+
+/// A point in the deployment field.
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr bool operator==(const Point2&, const Point2&) = default;
+};
+
+/// Squared Euclidean distance (preferred in range tests: no sqrt).
+constexpr double distance_sq(const Point2& a, const Point2& b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Euclidean distance.
+inline double distance(const Point2& a, const Point2& b) noexcept {
+  return std::sqrt(distance_sq(a, b));
+}
+
+/// Axis-aligned square deployment field [0, side] x [0, side].
+/// The paper deploys N nodes uniformly in a 100 x 100 area.
+struct Field {
+  double side = 100.0;
+
+  constexpr double area() const noexcept { return side * side; }
+  constexpr bool contains(const Point2& p) const noexcept {
+    return p.x >= 0.0 && p.x <= side && p.y >= 0.0 && p.y <= side;
+  }
+};
+
+}  // namespace khop

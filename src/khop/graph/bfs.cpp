@@ -1,0 +1,127 @@
+#include "khop/graph/bfs.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "khop/common/assert.hpp"
+
+namespace khop {
+
+namespace {
+
+/// Shared BFS core. Visiting nodes in ascending-id order per level and
+/// scanning sorted adjacency lists guarantees min-id canonical parents
+/// without any extra comparisons: the first edge that discovers v comes from
+/// the smallest-id parent on the shallowest level.
+BfsTree bfs_impl(const Graph& g, NodeId source, Hops max_hops) {
+  KHOP_REQUIRE(source < g.num_nodes(), "BFS source out of range");
+  BfsTree t;
+  t.source = source;
+  t.dist.assign(g.num_nodes(), kUnreachable);
+  t.parent.assign(g.num_nodes(), kInvalidNode);
+  t.dist[source] = 0;
+
+  std::vector<NodeId> frontier{source};
+  Hops level = 0;
+  while (!frontier.empty() && level < max_hops) {
+    std::vector<NodeId> next;
+    for (NodeId u : frontier) {
+      for (NodeId v : g.neighbors(u)) {
+        if (t.dist[v] == kUnreachable) {
+          t.dist[v] = level + 1;
+          t.parent[v] = u;
+          next.push_back(v);
+        }
+      }
+    }
+    // Frontier stays sorted: parents were processed in ascending order and
+    // each parent's neighbors are sorted, but interleaving across parents can
+    // break global order - restore it for the canonical-parent guarantee of
+    // the *next* level.
+    std::sort(next.begin(), next.end());
+    frontier = std::move(next);
+    ++level;
+  }
+  return t;
+}
+
+}  // namespace
+
+BfsTree bfs(const Graph& g, NodeId source) {
+  return bfs_impl(g, source, kUnreachable);
+}
+
+BfsTree bfs_bounded(const Graph& g, NodeId source, Hops max_hops) {
+  return bfs_impl(g, source, max_hops);
+}
+
+std::vector<NodeId> k_hop_neighborhood(const Graph& g, NodeId source, Hops k) {
+  const BfsTree t = bfs_bounded(g, source, k);
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (v != source && t.dist[v] != kUnreachable) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<NodeId> extract_path(const BfsTree& tree, NodeId target) {
+  KHOP_REQUIRE(target < tree.dist.size(), "path target out of range");
+  KHOP_REQUIRE(tree.dist[target] != kUnreachable,
+               "target unreachable from BFS source");
+  std::vector<NodeId> path;
+  for (NodeId v = target; v != kInvalidNode; v = tree.parent[v]) {
+    path.push_back(v);
+  }
+  std::reverse(path.begin(), path.end());
+  KHOP_ASSERT(path.front() == tree.source, "path does not start at source");
+  return path;
+}
+
+MultiSourceBfs multi_source_bfs(const Graph& g,
+                                const std::vector<NodeId>& seeds) {
+  MultiSourceBfs r;
+  r.dist.assign(g.num_nodes(), kUnreachable);
+  r.owner.assign(g.num_nodes(), kInvalidNode);
+
+  std::vector<NodeId> frontier;
+  for (NodeId s : seeds) {
+    KHOP_REQUIRE(s < g.num_nodes(), "seed out of range");
+    r.dist[s] = 0;
+    r.owner[s] = s;
+    frontier.push_back(s);
+  }
+  std::sort(frontier.begin(), frontier.end());
+
+  Hops level = 0;
+  while (!frontier.empty()) {
+    std::vector<NodeId> next;
+    for (NodeId u : frontier) {
+      for (NodeId v : g.neighbors(u)) {
+        if (r.dist[v] == kUnreachable) {
+          r.dist[v] = level + 1;
+          r.owner[v] = r.owner[u];
+          next.push_back(v);
+        } else if (r.dist[v] == level + 1 && r.owner[u] < r.owner[v]) {
+          // Same level, smaller owning seed wins (deterministic tie-break).
+          r.owner[v] = r.owner[u];
+        }
+      }
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    frontier = std::move(next);
+    ++level;
+  }
+  return r;
+}
+
+std::vector<std::vector<Hops>> all_pairs_hops(const Graph& g) {
+  std::vector<std::vector<Hops>> d;
+  d.reserve(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    d.push_back(bfs(g, u).dist);
+  }
+  return d;
+}
+
+}  // namespace khop

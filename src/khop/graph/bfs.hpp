@@ -1,0 +1,55 @@
+/// \file bfs.hpp
+/// Breadth-first search toolkit: hop distances, bounded-depth neighborhoods,
+/// and *canonical* shortest-path trees.
+///
+/// Canonical trees pick, among all shortest paths, the one whose parent at
+/// every level has the smallest node id. This makes every derived object
+/// (virtual links, gateways) a pure function of the topology - essential for
+/// reproducibility and for cross-validating the centralized algorithms
+/// against the message-passing protocols.
+#pragma once
+
+#include <vector>
+
+#include "khop/common/types.hpp"
+#include "khop/graph/graph.hpp"
+
+namespace khop {
+
+/// Result of a single-source BFS.
+struct BfsTree {
+  NodeId source = kInvalidNode;
+  std::vector<Hops> dist;      ///< hop distance, kUnreachable if not reached
+  std::vector<NodeId> parent;  ///< canonical parent, kInvalidNode at source /
+                               ///< unreached nodes
+};
+
+/// Full BFS from \p source with canonical (min-id) parents.
+BfsTree bfs(const Graph& g, NodeId source);
+
+/// BFS from \p source exploring only nodes within \p max_hops.
+/// dist[v] == kUnreachable for nodes farther than max_hops.
+BfsTree bfs_bounded(const Graph& g, NodeId source, Hops max_hops);
+
+/// Nodes with 1 <= dist(source, v) <= k, ascending id order.
+std::vector<NodeId> k_hop_neighborhood(const Graph& g, NodeId source, Hops k);
+
+/// Extracts the canonical shortest path source -> target from a BFS tree.
+/// Returned path includes both endpoints.
+/// \pre tree.dist[target] != kUnreachable
+std::vector<NodeId> extract_path(const BfsTree& tree, NodeId target);
+
+/// Multi-source BFS: dist[v] = hops to the nearest seed; owner[v] = the seed
+/// that claims v (ties broken by smaller seed id, resolved level by level).
+struct MultiSourceBfs {
+  std::vector<Hops> dist;
+  std::vector<NodeId> owner;
+};
+MultiSourceBfs multi_source_bfs(const Graph& g,
+                                const std::vector<NodeId>& seeds);
+
+/// All-pairs hop distances via n BFS runs. Intended for the small head
+/// graphs (tens of nodes); cost O(n * (n + m)).
+std::vector<std::vector<Hops>> all_pairs_hops(const Graph& g);
+
+}  // namespace khop

@@ -1,0 +1,86 @@
+#include "khop/graph/components.hpp"
+
+#include <algorithm>
+
+#include "khop/common/assert.hpp"
+
+namespace khop {
+
+Components connected_components(const Graph& g) {
+  Components c;
+  c.label.assign(g.num_nodes(), kInvalidNode);
+  std::vector<NodeId> stack;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    if (c.label[s] != kInvalidNode) continue;
+    const auto id = static_cast<NodeId>(c.count++);
+    c.label[s] = id;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (NodeId v : g.neighbors(u)) {
+        if (c.label[v] == kInvalidNode) {
+          c.label[v] = id;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return c;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_nodes() <= 1) return true;
+  return connected_components(g).count == 1;
+}
+
+bool is_connected_subset(const Graph& g, const std::vector<bool>& in_subset) {
+  KHOP_REQUIRE(in_subset.size() == g.num_nodes(),
+               "subset mask size mismatch");
+  NodeId start = kInvalidNode;
+  std::size_t subset_size = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (in_subset[v]) {
+      ++subset_size;
+      if (start == kInvalidNode) start = v;
+    }
+  }
+  if (subset_size <= 1) return true;
+
+  std::vector<bool> seen(g.num_nodes(), false);
+  std::vector<NodeId> stack{start};
+  seen[start] = true;
+  std::size_t reached = 1;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    for (NodeId v : g.neighbors(u)) {
+      if (in_subset[v] && !seen[v]) {
+        seen[v] = true;
+        ++reached;
+        stack.push_back(v);
+      }
+    }
+  }
+  return reached == subset_size;
+}
+
+LargestComponent largest_component(const Graph& g) {
+  const Components c = connected_components(g);
+  std::vector<std::size_t> sizes(c.count, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) ++sizes[c.label[v]];
+  const auto best = static_cast<NodeId>(std::distance(
+      sizes.begin(), std::max_element(sizes.begin(), sizes.end())));
+
+  LargestComponent lc;
+  lc.new_id.assign(g.num_nodes(), kInvalidNode);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (c.label[v] == best) {
+      lc.new_id[v] = static_cast<NodeId>(lc.original_ids.size());
+      lc.original_ids.push_back(v);
+    }
+  }
+  return lc;
+}
+
+}  // namespace khop

@@ -1,0 +1,36 @@
+/// \file components.hpp
+/// Connected-component analysis.
+#pragma once
+
+#include <vector>
+
+#include "khop/common/types.hpp"
+#include "khop/graph/graph.hpp"
+
+namespace khop {
+
+/// Label of each node's component (labels are 0-based, assigned in order of
+/// the smallest node id in each component) plus the component count.
+struct Components {
+  std::vector<NodeId> label;
+  std::size_t count = 0;
+};
+
+Components connected_components(const Graph& g);
+
+/// True iff the graph is connected (vacuously true for <= 1 node).
+bool is_connected(const Graph& g);
+
+/// True iff the nodes in \p subset induce a connected subgraph of \p g
+/// (edges with both endpoints in the subset). Vacuously true for <= 1 node.
+/// \p in_subset is an n-sized membership mask.
+bool is_connected_subset(const Graph& g, const std::vector<bool>& in_subset);
+
+/// Extraction of the largest connected component with a dense re-labelling.
+struct LargestComponent {
+  std::vector<NodeId> original_ids;  ///< new id -> old id, ascending
+  std::vector<NodeId> new_id;        ///< old id -> new id or kInvalidNode
+};
+LargestComponent largest_component(const Graph& g);
+
+}  // namespace khop

@@ -1,0 +1,84 @@
+#include "khop/graph/graph.hpp"
+
+#include <algorithm>
+
+#include "khop/common/assert.hpp"
+
+namespace khop {
+
+Graph::Graph(std::size_t n) : offsets_(n + 1, 0) {}
+
+Graph Graph::from_edges(std::size_t n,
+                        std::span<const std::pair<NodeId, NodeId>> edges) {
+  Graph g(n);
+  std::vector<std::size_t> deg(n, 0);
+  for (const auto& [u, v] : edges) {
+    KHOP_REQUIRE(u < n && v < n, "edge endpoint out of range");
+    KHOP_REQUIRE(u != v, "self-loops are not allowed");
+    ++deg[u];
+    ++deg[v];
+  }
+  for (std::size_t i = 0; i < n; ++i) g.offsets_[i + 1] = g.offsets_[i] + deg[i];
+  g.adjacency_.resize(g.offsets_[n]);
+
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : edges) {
+    g.adjacency_[cursor[u]++] = v;
+    g.adjacency_[cursor[v]++] = u;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto begin = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[i]);
+    const auto end = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[i + 1]);
+    std::sort(begin, end);
+    KHOP_REQUIRE(std::adjacent_find(begin, end) == end,
+                 "duplicate edge in input");
+  }
+  return g;
+}
+
+std::span<const NodeId> Graph::neighbors(NodeId u) const {
+  check_node(u);
+  return {adjacency_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+}
+
+std::size_t Graph::degree(NodeId u) const {
+  check_node(u);
+  return offsets_[u + 1] - offsets_[u];
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  check_node(u);
+  check_node(v);
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<std::pair<NodeId, NodeId>> Graph::edge_list() const {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(num_edges());
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (NodeId v : neighbors(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+Graph Graph::without_node(NodeId u) const {
+  check_node(u);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(num_edges());
+  for (NodeId a = 0; a < num_nodes(); ++a) {
+    if (a == u) continue;
+    for (NodeId b : neighbors(a)) {
+      if (a < b && b != u) edges.emplace_back(a, b);
+    }
+  }
+  return from_edges(num_nodes(), edges);
+}
+
+void Graph::check_node(NodeId u) const {
+  KHOP_REQUIRE(u < num_nodes(), "node id out of range");
+}
+
+}  // namespace khop

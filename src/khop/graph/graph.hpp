@@ -1,0 +1,59 @@
+/// \file graph.hpp
+/// Immutable undirected graph in compressed-sparse-row form.
+///
+/// All khop algorithms operate on this structure. Neighbor lists are sorted
+/// by node id, which gives deterministic iteration order (the basis for the
+/// library-wide canonical tie-breaking) and O(log d) edge queries.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "khop/common/types.hpp"
+
+namespace khop {
+
+/// Immutable undirected simple graph (no self-loops, no multi-edges).
+class Graph {
+ public:
+  /// Empty graph with \p n isolated vertices.
+  explicit Graph(std::size_t n = 0);
+
+  /// Builds from an undirected edge list. Duplicate edges and self-loops are
+  /// rejected (InvalidArgument), endpoints must be < n.
+  static Graph from_edges(std::size_t n,
+                          std::span<const std::pair<NodeId, NodeId>> edges);
+
+  /// Number of vertices.
+  std::size_t num_nodes() const noexcept { return offsets_.size() - 1; }
+
+  /// Number of undirected edges.
+  std::size_t num_edges() const noexcept { return adjacency_.size() / 2; }
+
+  /// Sorted neighbor list of \p u.
+  std::span<const NodeId> neighbors(NodeId u) const;
+
+  /// Degree of \p u.
+  std::size_t degree(NodeId u) const;
+
+  /// True iff the undirected edge {u, v} exists. O(log deg(u)).
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// All undirected edges as (min, max) pairs, sorted lexicographically.
+  std::vector<std::pair<NodeId, NodeId>> edge_list() const;
+
+  /// Returns a copy of this graph with node \p u isolated (all incident
+  /// edges removed). Used by the dynamics module to model node failure while
+  /// keeping ids stable.
+  Graph without_node(NodeId u) const;
+
+ private:
+  std::vector<std::size_t> offsets_;  // size n+1
+  std::vector<NodeId> adjacency_;     // grouped by source, each group sorted
+
+  void check_node(NodeId u) const;
+};
+
+}  // namespace khop

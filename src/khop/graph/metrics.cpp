@@ -1,0 +1,42 @@
+#include "khop/graph/metrics.hpp"
+
+#include <algorithm>
+
+#include "khop/common/assert.hpp"
+#include "khop/common/error.hpp"
+#include "khop/graph/bfs.hpp"
+
+namespace khop {
+
+DegreeStats degree_stats(const Graph& g) {
+  KHOP_REQUIRE(g.num_nodes() > 0, "empty graph");
+  DegreeStats s;
+  s.min = g.degree(0);
+  s.max = g.degree(0);
+  std::size_t total = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const std::size_t d = g.degree(u);
+    total += d;
+    s.min = std::min(s.min, d);
+    s.max = std::max(s.max, d);
+  }
+  s.mean = static_cast<double>(total) / static_cast<double>(g.num_nodes());
+  return s;
+}
+
+Hops diameter(const Graph& g) {
+  KHOP_REQUIRE(g.num_nodes() > 0, "empty graph");
+  Hops diam = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const BfsTree t = bfs(g, u);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (t.dist[v] == kUnreachable) {
+        throw NotConnected("diameter: graph is not connected");
+      }
+      diam = std::max(diam, t.dist[v]);
+    }
+  }
+  return diam;
+}
+
+}  // namespace khop

@@ -1,0 +1,23 @@
+/// \file metrics.hpp
+/// Descriptive graph statistics used by the generators, tests and benches.
+#pragma once
+
+#include <cstddef>
+
+#include "khop/graph/graph.hpp"
+
+namespace khop {
+
+struct DegreeStats {
+  double mean = 0.0;
+  std::size_t min = 0;
+  std::size_t max = 0;
+};
+
+DegreeStats degree_stats(const Graph& g);
+
+/// Eccentricity-based diameter in hops. O(n * (n + m)); fine for the paper's
+/// network sizes. Throws NotConnected on disconnected input.
+Hops diameter(const Graph& g);
+
+}  // namespace khop

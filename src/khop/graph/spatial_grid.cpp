@@ -1,0 +1,78 @@
+#include "khop/graph/spatial_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "khop/common/assert.hpp"
+
+namespace khop {
+
+SpatialGrid::SpatialGrid(const std::vector<Point2>& pts, double radius)
+    : pts_(pts), radius_(radius) {
+  KHOP_REQUIRE(!pts.empty(), "empty point set");
+  KHOP_REQUIRE(radius > 0.0, "radius must be positive");
+
+  double max_x = pts[0].x, max_y = pts[0].y;
+  min_x_ = pts[0].x;
+  min_y_ = pts[0].y;
+  for (const auto& p : pts) {
+    min_x_ = std::min(min_x_, p.x);
+    min_y_ = std::min(min_y_, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+  cell_ = radius;
+  cols_ = static_cast<std::size_t>((max_x - min_x_) / cell_) + 1;
+  rows_ = static_cast<std::size_t>((max_y - min_y_) / cell_) + 1;
+  cells_.resize(cols_ * rows_);
+  for (NodeId i = 0; i < pts.size(); ++i) {
+    cells_[cell_index(pts[i].x, pts[i].y)].push_back(i);
+  }
+}
+
+std::size_t SpatialGrid::cell_index(double x, double y) const noexcept {
+  auto cx = static_cast<std::size_t>((x - min_x_) / cell_);
+  auto cy = static_cast<std::size_t>((y - min_y_) / cell_);
+  cx = std::min(cx, cols_ - 1);
+  cy = std::min(cy, rows_ - 1);
+  return cy * cols_ + cx;
+}
+
+std::vector<NodeId> SpatialGrid::within_radius(NodeId u) const {
+  KHOP_REQUIRE(u < pts_.size(), "node id out of range");
+  const Point2& p = pts_[u];
+  const double r2 = radius_ * radius_;
+
+  auto cx = static_cast<std::ptrdiff_t>((p.x - min_x_) / cell_);
+  auto cy = static_cast<std::ptrdiff_t>((p.y - min_y_) / cell_);
+  std::vector<NodeId> out;
+  for (std::ptrdiff_t dy = -1; dy <= 1; ++dy) {
+    for (std::ptrdiff_t dx = -1; dx <= 1; ++dx) {
+      const std::ptrdiff_t nx = cx + dx;
+      const std::ptrdiff_t ny = cy + dy;
+      if (nx < 0 || ny < 0 || nx >= static_cast<std::ptrdiff_t>(cols_) ||
+          ny >= static_cast<std::ptrdiff_t>(rows_)) {
+        continue;
+      }
+      for (NodeId v : cells_[static_cast<std::size_t>(ny) * cols_ +
+                             static_cast<std::size_t>(nx)]) {
+        if (v != u && distance_sq(p, pts_[v]) <= r2) out.push_back(v);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Graph build_unit_disk_graph(const std::vector<Point2>& pts, double radius) {
+  SpatialGrid grid(pts, radius);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u < pts.size(); ++u) {
+    for (NodeId v : grid.within_radius(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return Graph::from_edges(pts.size(), edges);
+}
+
+}  // namespace khop

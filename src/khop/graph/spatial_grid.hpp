@@ -1,0 +1,38 @@
+/// \file spatial_grid.hpp
+/// Uniform spatial hashing for near-linear unit-disk graph construction.
+#pragma once
+
+#include <vector>
+
+#include "khop/geom/point.hpp"
+#include "khop/graph/graph.hpp"
+
+namespace khop {
+
+/// Uniform grid over the bounding box of a point set, cell size >= the query
+/// radius, so a range query touches at most the 3x3 surrounding cells.
+class SpatialGrid {
+ public:
+  /// \pre radius > 0, pts non-empty
+  SpatialGrid(const std::vector<Point2>& pts, double radius);
+
+  /// Ids of all points within \p radius of pts[u], excluding u itself,
+  /// in ascending id order.
+  std::vector<NodeId> within_radius(NodeId u) const;
+
+ private:
+  const std::vector<Point2>& pts_;
+  double radius_;
+  double cell_;
+  std::size_t cols_ = 0, rows_ = 0;
+  double min_x_ = 0.0, min_y_ = 0.0;
+  std::vector<std::vector<NodeId>> cells_;
+
+  std::size_t cell_index(double x, double y) const noexcept;
+};
+
+/// Builds the unit-disk graph: edge {u,v} iff dist(u,v) <= radius.
+/// O(n * average-neighborhood) via spatial hashing.
+Graph build_unit_disk_graph(const std::vector<Point2>& pts, double radius);
+
+}  // namespace khop

@@ -1,0 +1,36 @@
+#include "khop/graph/subgraph.hpp"
+
+#include <algorithm>
+
+#include "khop/common/assert.hpp"
+
+namespace khop {
+
+InducedSubgraph induced_subgraph(const Graph& g,
+                                 const std::vector<NodeId>& nodes) {
+  KHOP_REQUIRE(std::is_sorted(nodes.begin(), nodes.end()),
+               "node subset must be sorted");
+  KHOP_REQUIRE(std::adjacent_find(nodes.begin(), nodes.end()) == nodes.end(),
+               "node subset must be unique");
+
+  InducedSubgraph s;
+  s.original_ids = nodes;
+  s.new_id.assign(g.num_nodes(), kInvalidNode);
+  for (NodeId i = 0; i < nodes.size(); ++i) {
+    KHOP_REQUIRE(nodes[i] < g.num_nodes(), "subset node out of range");
+    s.new_id[nodes[i]] = i;
+  }
+
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId old_u : nodes) {
+    for (NodeId old_v : g.neighbors(old_u)) {
+      if (old_u < old_v && s.new_id[old_v] != kInvalidNode) {
+        edges.emplace_back(s.new_id[old_u], s.new_id[old_v]);
+      }
+    }
+  }
+  s.graph = Graph::from_edges(nodes.size(), edges);
+  return s;
+}
+
+}  // namespace khop

@@ -1,0 +1,23 @@
+/// \file subgraph.hpp
+/// Induced-subgraph extraction with id remapping.
+#pragma once
+
+#include <vector>
+
+#include "khop/common/types.hpp"
+#include "khop/graph/graph.hpp"
+
+namespace khop {
+
+/// A subgraph induced by a node subset, with a dense relabelling.
+struct InducedSubgraph {
+  Graph graph;                       ///< over the renumbered nodes
+  std::vector<NodeId> original_ids;  ///< new id -> old id, ascending
+  std::vector<NodeId> new_id;        ///< old id -> new id or kInvalidNode
+};
+
+/// Induced subgraph on the ascending-sorted unique set \p nodes.
+InducedSubgraph induced_subgraph(const Graph& g,
+                                 const std::vector<NodeId>& nodes);
+
+}  // namespace khop

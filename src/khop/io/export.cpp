@@ -1,0 +1,88 @@
+#include "khop/io/export.hpp"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+
+#include "khop/common/assert.hpp"
+#include "khop/graph/spatial_grid.hpp"
+
+namespace khop {
+
+void write_dot(std::ostream& os, const AdHocNetwork& net,
+               const Clustering& c, const Backbone& b) {
+  const auto roles = b.roles(net.num_nodes());
+
+  // Backbone edges: physical edges with both endpoints in the CDS.
+  const auto mask = b.cds_mask(net.num_nodes());
+
+  os << "graph khop {\n"
+     << "  // " << net.num_nodes() << " nodes, radius " << net.radius
+     << ", k = " << c.k << ", pipeline " << pipeline_name(b.pipeline)
+     << "\n"
+     << "  node [shape=circle, fixedsize=true, width=0.25, fontsize=8];\n";
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    os << "  n" << v << " [pos=\"" << net.positions[v].x << ','
+       << net.positions[v].y << "!\"";
+    if (roles[v] == NodeRole::kClusterhead) {
+      os << ", shape=doublecircle, style=filled, fillcolor=gold";
+    } else if (roles[v] == NodeRole::kGateway) {
+      os << ", style=filled, fillcolor=lightblue";
+    }
+    os << "];\n";
+  }
+  for (NodeId u = 0; u < net.num_nodes(); ++u) {
+    for (NodeId v : net.graph.neighbors(u)) {
+      if (u >= v) continue;
+      os << "  n" << u << " -- n" << v;
+      if (mask[u] && mask[v]) os << " [penwidth=2.2]";
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+}
+
+void write_layout(std::ostream& os, const AdHocNetwork& net,
+                  const Clustering& c, const Backbone& b) {
+  const auto roles = b.roles(net.num_nodes());
+  os << "# id x y role cluster dist_to_head\n";
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    os << v << ' ' << net.positions[v].x << ' ' << net.positions[v].y << ' '
+       << static_cast<int>(roles[v]) << ' ' << c.cluster_of[v] << ' '
+       << c.dist_to_head[v] << '\n';
+  }
+}
+
+void write_network(std::ostream& os, const AdHocNetwork& net) {
+  // max_digits10 makes the text round-trip lossless for doubles.
+  const auto old_precision =
+      os.precision(std::numeric_limits<double>::max_digits10);
+  os << net.num_nodes() << ' ' << net.radius << ' ' << net.field.side
+     << '\n';
+  for (const Point2& p : net.positions) {
+    os << p.x << ' ' << p.y << '\n';
+  }
+  os.precision(old_precision);
+}
+
+AdHocNetwork read_network(std::istream& is) {
+  AdHocNetwork net;
+  std::size_t n = 0;
+  if (!(is >> n >> net.radius >> net.field.side)) {
+    throw InvalidArgument("read_network: malformed header");
+  }
+  KHOP_REQUIRE(n >= 1, "read_network: empty network");
+  KHOP_REQUIRE(net.radius > 0.0 && net.field.side > 0.0,
+               "read_network: non-positive radius or field");
+  net.positions.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(is >> net.positions[i].x >> net.positions[i].y)) {
+      throw InvalidArgument("read_network: truncated position list");
+    }
+  }
+  net.requested_nodes = n;
+  net.rebuild_graph();
+  return net;
+}
+
+}  // namespace khop

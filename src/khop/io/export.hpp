@@ -1,0 +1,34 @@
+/// \file export.hpp
+/// Interchange formats: Graphviz DOT and plain-text layouts, so networks and
+/// backbones can be plotted (the paper's Figure 4 style) or re-loaded.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "khop/cluster/clustering.hpp"
+#include "khop/gateway/backbone.hpp"
+#include "khop/net/network.hpp"
+
+namespace khop {
+
+/// Graphviz DOT of the network with roles: clusterheads as doublecircles,
+/// gateways filled, members plain; backbone virtual-link paths are not drawn
+/// (the physical edges are), but backbone edges are bolded.
+void write_dot(std::ostream& os, const AdHocNetwork& net,
+               const Clustering& c, const Backbone& b);
+
+/// Plain layout: one line per node, "id x y role cluster dist_to_head"
+/// (role: 0 member, 1 gateway, 2 clusterhead). Gnuplot-friendly.
+void write_layout(std::ostream& os, const AdHocNetwork& net,
+                  const Clustering& c, const Backbone& b);
+
+/// Serializes a network: header "n radius side", then one "x y" line per
+/// node. Edges are implied (unit-disk).
+void write_network(std::ostream& os, const AdHocNetwork& net);
+
+/// Reads the write_network format back. Throws InvalidArgument on malformed
+/// input. The graph is rebuilt from positions and radius.
+AdHocNetwork read_network(std::istream& is);
+
+}  // namespace khop

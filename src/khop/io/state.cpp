@@ -1,0 +1,146 @@
+#include "khop/io/state.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "khop/common/assert.hpp"
+#include "khop/common/error.hpp"
+
+namespace khop {
+
+namespace {
+
+void expect_tag(std::istream& is, const std::string& want) {
+  std::string got;
+  if (!(is >> got) || got != want) {
+    throw InvalidArgument("state: expected tag '" + want + "', got '" + got +
+                          "'");
+  }
+}
+
+}  // namespace
+
+void write_clustering(std::ostream& os, const Clustering& c) {
+  os << "khop-clustering v1\n";
+  os << "k " << c.k << '\n';
+  os << "rounds " << c.election_rounds << '\n';
+  os << "nodes " << c.head_of.size() << '\n';
+  os << "heads " << c.heads.size();
+  for (NodeId h : c.heads) os << ' ' << h;
+  os << '\n';
+  for (NodeId v = 0; v < c.head_of.size(); ++v) {
+    os << c.head_of[v] << ' ' << c.dist_to_head[v] << '\n';
+  }
+}
+
+Clustering read_clustering(std::istream& is) {
+  expect_tag(is, "khop-clustering");
+  expect_tag(is, "v1");
+  Clustering c;
+  std::size_t n = 0, head_count = 0;
+  expect_tag(is, "k");
+  if (!(is >> c.k) || c.k < 1) {
+    throw InvalidArgument("state: bad k");
+  }
+  expect_tag(is, "rounds");
+  if (!(is >> c.election_rounds)) {
+    throw InvalidArgument("state: bad rounds");
+  }
+  expect_tag(is, "nodes");
+  if (!(is >> n) || n == 0) {
+    throw InvalidArgument("state: bad node count");
+  }
+  expect_tag(is, "heads");
+  if (!(is >> head_count) || head_count == 0 || head_count > n) {
+    throw InvalidArgument("state: bad head count");
+  }
+  c.heads.resize(head_count);
+  for (auto& h : c.heads) {
+    if (!(is >> h) || h >= n) throw InvalidArgument("state: bad head id");
+  }
+  if (!std::is_sorted(c.heads.begin(), c.heads.end())) {
+    throw InvalidArgument("state: heads not sorted");
+  }
+  c.head_of.resize(n);
+  c.dist_to_head.resize(n);
+  c.cluster_of.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (!(is >> c.head_of[v] >> c.dist_to_head[v])) {
+      throw InvalidArgument("state: truncated node rows");
+    }
+    const auto it =
+        std::lower_bound(c.heads.begin(), c.heads.end(), c.head_of[v]);
+    if (it == c.heads.end() || *it != c.head_of[v]) {
+      throw InvalidArgument("state: head_of references a non-head");
+    }
+    c.cluster_of[v] =
+        static_cast<std::uint32_t>(std::distance(c.heads.begin(), it));
+  }
+  return c;
+}
+
+void write_backbone(std::ostream& os, const Backbone& b) {
+  os << "khop-backbone v1\n";
+  os << "pipeline " << static_cast<int>(b.pipeline) << '\n';
+  os << "spec " << static_cast<int>(b.spec.neighbor_rule) << ' '
+     << static_cast<int>(b.spec.gateway) << ' '
+     << static_cast<int>(b.spec.lmst_keep) << '\n';
+  os << "heads " << b.heads.size();
+  for (NodeId h : b.heads) os << ' ' << h;
+  os << '\n';
+  os << "gateways " << b.gateways.size();
+  for (NodeId g : b.gateways) os << ' ' << g;
+  os << '\n';
+  os << "links " << b.virtual_links.size() << '\n';
+  for (const auto& [u, v] : b.virtual_links) os << u << ' ' << v << '\n';
+}
+
+Backbone read_backbone(std::istream& is) {
+  expect_tag(is, "khop-backbone");
+  expect_tag(is, "v1");
+  Backbone b;
+  int pipeline = 0, rule = 0, gw = 0, keep = 0;
+  expect_tag(is, "pipeline");
+  if (!(is >> pipeline) || pipeline < 0 ||
+      pipeline > static_cast<int>(Pipeline::kGmst)) {
+    throw InvalidArgument("state: bad pipeline");
+  }
+  b.pipeline = static_cast<Pipeline>(pipeline);
+  expect_tag(is, "spec");
+  if (!(is >> rule >> gw >> keep) || rule < 0 || rule > 2 || gw < 0 ||
+      gw > 2 || keep < 0 || keep > 1) {
+    throw InvalidArgument("state: bad spec");
+  }
+  b.spec.neighbor_rule = static_cast<NeighborRule>(rule);
+  b.spec.gateway = static_cast<GatewayAlgorithm>(gw);
+  b.spec.lmst_keep = static_cast<LmstKeepRule>(keep);
+
+  std::size_t count = 0;
+  expect_tag(is, "heads");
+  if (!(is >> count)) throw InvalidArgument("state: bad heads count");
+  b.heads.resize(count);
+  for (auto& h : b.heads) {
+    if (!(is >> h)) throw InvalidArgument("state: truncated heads");
+  }
+  expect_tag(is, "gateways");
+  if (!(is >> count)) throw InvalidArgument("state: bad gateway count");
+  b.gateways.resize(count);
+  for (auto& g : b.gateways) {
+    if (!(is >> g)) throw InvalidArgument("state: truncated gateways");
+  }
+  expect_tag(is, "links");
+  if (!(is >> count)) throw InvalidArgument("state: bad link count");
+  b.virtual_links.resize(count);
+  for (auto& [u, v] : b.virtual_links) {
+    if (!(is >> u >> v)) throw InvalidArgument("state: truncated links");
+  }
+  if (!std::is_sorted(b.heads.begin(), b.heads.end()) ||
+      !std::is_sorted(b.gateways.begin(), b.gateways.end())) {
+    throw InvalidArgument("state: backbone vectors not sorted");
+  }
+  return b;
+}
+
+}  // namespace khop

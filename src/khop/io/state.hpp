@@ -1,0 +1,31 @@
+/// \file state.hpp
+/// Checkpointing of pipeline results: a Clustering and a Backbone can be
+/// saved to / restored from a plain-text stream, so long-running dynamics
+/// experiments can snapshot and resume, and results can be diffed across
+/// library versions.
+#pragma once
+
+#include <iosfwd>
+
+#include "khop/cluster/clustering.hpp"
+#include "khop/gateway/backbone.hpp"
+
+namespace khop {
+
+/// Writes "khop-clustering v1" followed by k, heads, and per-node
+/// (head_of, dist_to_head) rows.
+void write_clustering(std::ostream& os, const Clustering& c);
+
+/// Reads the write_clustering format; reconstructs cluster_of.
+/// Throws InvalidArgument on malformed input.
+Clustering read_clustering(std::istream& is);
+
+/// Writes "khop-backbone v1" followed by pipeline/spec, heads, gateways,
+/// and virtual links.
+void write_backbone(std::ostream& os, const Backbone& b);
+
+/// Reads the write_backbone format.
+/// Throws InvalidArgument on malformed input.
+Backbone read_backbone(std::istream& is);
+
+}  // namespace khop

@@ -1,0 +1,38 @@
+#include "khop/nbr/cluster_graph.hpp"
+
+#include <algorithm>
+
+#include "khop/common/assert.hpp"
+#include "khop/graph/components.hpp"
+
+namespace khop {
+
+Graph adjacent_cluster_graph(const Graph& g, const Clustering& c) {
+  const auto pairs = adjacent_cluster_pairs(g, c);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(pairs.size());
+  for (const auto& [ci, cj] : pairs) edges.emplace_back(ci, cj);
+  return Graph::from_edges(c.heads.size(), edges);
+}
+
+Graph selection_graph(const Clustering& c, const NeighborSelection& sel) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(sel.head_pairs.size());
+  for (const auto& [hu, hv] : sel.head_pairs) {
+    const auto iu = std::lower_bound(c.heads.begin(), c.heads.end(), hu);
+    const auto iv = std::lower_bound(c.heads.begin(), c.heads.end(), hv);
+    KHOP_REQUIRE(iu != c.heads.end() && *iu == hu && iv != c.heads.end() &&
+                     *iv == hv,
+                 "selection references unknown head");
+    edges.emplace_back(
+        static_cast<NodeId>(std::distance(c.heads.begin(), iu)),
+        static_cast<NodeId>(std::distance(c.heads.begin(), iv)));
+  }
+  return Graph::from_edges(c.heads.size(), edges);
+}
+
+bool theorem1_holds(const Graph& g, const Clustering& c) {
+  return is_connected(adjacent_cluster_graph(g, c));
+}
+
+}  // namespace khop

@@ -1,0 +1,22 @@
+/// \file cluster_graph.hpp
+/// Cluster-level graphs: the adjacent-cluster graph G'' of Definition 3 and
+/// the generic head-pair graph induced by any NeighborSelection. Nodes are
+/// cluster indices (positions in Clustering::heads).
+#pragma once
+
+#include "khop/cluster/clustering.hpp"
+#include "khop/graph/graph.hpp"
+#include "khop/nbr/neighbor_rules.hpp"
+
+namespace khop {
+
+/// G'' — one vertex per cluster, an edge per adjacent cluster pair.
+Graph adjacent_cluster_graph(const Graph& g, const Clustering& c);
+
+/// Graph over cluster indices whose edges are the selection's head pairs.
+Graph selection_graph(const Clustering& c, const NeighborSelection& sel);
+
+/// Theorem 1 checker: G'' is connected whenever G is.
+bool theorem1_holds(const Graph& g, const Clustering& c);
+
+}  // namespace khop

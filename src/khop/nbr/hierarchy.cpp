@@ -1,0 +1,56 @@
+#include "khop/nbr/hierarchy.hpp"
+
+#include "khop/common/assert.hpp"
+#include "khop/nbr/cluster_graph.hpp"
+
+namespace khop {
+
+NodeId ClusterHierarchy::head_at_level(NodeId v, std::size_t level) const {
+  KHOP_REQUIRE(level < levels.size(), "level out of range");
+  KHOP_REQUIRE(v < levels[0].clustering.head_of.size(), "node out of range");
+  // Climb the membership chain in each level's own node-id space: the node
+  // id of v's representative at level l+1 is its cluster index at level l.
+  NodeId cur = v;
+  for (std::size_t l = 0; l < level; ++l) {
+    cur = levels[l].clustering.cluster_of[cur];
+  }
+  const NodeId head_node = levels[level].clustering.head_of[cur];
+  return levels[level].node_physical_id[head_node];
+}
+
+ClusterHierarchy build_hierarchy(const Graph& g, Hops k,
+                                 std::size_t max_levels) {
+  KHOP_REQUIRE(max_levels >= 1, "need at least one level");
+
+  ClusterHierarchy h;
+  HierarchyLevel level0;
+  level0.graph = g;
+  level0.clustering = khop_clustering(g, k);
+  level0.node_physical_id.resize(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) level0.node_physical_id[v] = v;
+  level0.physical_heads = level0.clustering.heads;
+  h.levels.push_back(std::move(level0));
+
+  while (h.levels.size() < max_levels &&
+         h.levels.back().clustering.heads.size() > 1) {
+    const HierarchyLevel& below = h.levels.back();
+    HierarchyLevel next;
+    // Nodes of the next level graph = cluster indices of the level below;
+    // edges = cluster adjacency (Theorem 1: the graph is connected).
+    next.graph = adjacent_cluster_graph(below.graph, below.clustering);
+    next.clustering = khop_clustering(next.graph, k);
+    next.node_physical_id.reserve(next.graph.num_nodes());
+    for (NodeId j = 0; j < next.graph.num_nodes(); ++j) {
+      next.node_physical_id.push_back(
+          below.node_physical_id[below.clustering.heads[j]]);
+    }
+    next.physical_heads.reserve(next.clustering.heads.size());
+    for (const NodeId idx : next.clustering.heads) {
+      next.physical_heads.push_back(next.node_physical_id[idx]);
+    }
+    h.levels.push_back(std::move(next));
+  }
+  return h;
+}
+
+}  // namespace khop

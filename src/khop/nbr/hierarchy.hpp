@@ -1,0 +1,49 @@
+/// \file hierarchy.hpp
+/// High-level (multi-level) clustering: the related-work idea of applying
+/// clustering recursively over clusterheads (paper section 2, "High level
+/// clustering ... is also feasible and effective in even larger networks").
+///
+/// Level 0 is the physical network. Level l+1 clusters the level-l
+/// clusterheads over the level-l cluster graph G'' (adjacent clusters are
+/// 1 hop apart at the next level). Recursion stops when one head remains or
+/// the requested depth is reached.
+#pragma once
+
+#include <vector>
+
+#include "khop/cluster/clustering.hpp"
+#include "khop/common/types.hpp"
+#include "khop/graph/graph.hpp"
+
+namespace khop {
+
+struct HierarchyLevel {
+  /// Graph this level was clustered on (level 0: the network; level l>0:
+  /// the adjacent-cluster graph of level l-1, nodes = level-(l-1) cluster
+  /// indices).
+  Graph graph;
+  Clustering clustering;
+  /// Physical node id of each graph node at this level (identity at 0).
+  std::vector<NodeId> node_physical_id;
+  /// Heads in *physical* node ids, in head-index order.
+  std::vector<NodeId> physical_heads;
+};
+
+struct ClusterHierarchy {
+  std::vector<HierarchyLevel> levels;
+
+  std::size_t depth() const noexcept { return levels.size(); }
+
+  /// The physical id of the level-l head responsible for physical node v
+  /// (follows the membership chain up l+1 times).
+  NodeId head_at_level(NodeId v, std::size_t level) const;
+};
+
+/// Builds up to \p max_levels levels (at least 1). Every level uses the
+/// given k and lowest-ID priorities; level graphs are always connected
+/// (Theorem 1 guarantees G'' is).
+/// \pre k >= 1; g connected; max_levels >= 1
+ClusterHierarchy build_hierarchy(const Graph& g, Hops k,
+                                 std::size_t max_levels);
+
+}  // namespace khop

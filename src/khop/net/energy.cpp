@@ -1,0 +1,35 @@
+#include "khop/net/energy.hpp"
+
+#include <algorithm>
+
+#include "khop/common/assert.hpp"
+
+namespace khop {
+
+EnergyState::EnergyState(const EnergyConfig& cfg, std::size_t num_nodes)
+    : cfg_(cfg), residual_(num_nodes, cfg.initial) {
+  KHOP_REQUIRE(cfg.initial > 0.0, "initial energy must be positive");
+}
+
+double EnergyState::residual(NodeId u) const {
+  KHOP_REQUIRE(u < residual_.size(), "node id out of range");
+  return residual_[u];
+}
+
+std::size_t EnergyState::alive_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(residual_.begin(), residual_.end(),
+                    [](double e) { return e > 0.0; }));
+}
+
+void EnergyState::apply_epoch(const std::vector<NodeRole>& roles) {
+  KHOP_REQUIRE(roles.size() == residual_.size(), "role vector size mismatch");
+  for (std::size_t i = 0; i < roles.size(); ++i) {
+    double cost = cfg_.member_cost;
+    if (roles[i] == NodeRole::kGateway) cost = cfg_.gateway_cost;
+    if (roles[i] == NodeRole::kClusterhead) cost = cfg_.clusterhead_cost;
+    residual_[i] = std::max(0.0, residual_[i] - cost);
+  }
+}
+
+}  // namespace khop

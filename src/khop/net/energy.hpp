@@ -1,0 +1,43 @@
+/// \file energy.hpp
+/// Residual-energy bookkeeping for the power-aware design of paper section
+/// 3.3: clusterheads (and gateways) drain faster than plain members, and
+/// residual energy can replace lowest-ID as the election priority so the
+/// head role rotates.
+#pragma once
+
+#include <vector>
+
+#include "khop/common/types.hpp"
+
+namespace khop {
+
+/// Role a node plays in the current backbone epoch.
+enum class NodeRole : std::uint8_t { kMember, kGateway, kClusterhead };
+
+struct EnergyConfig {
+  double initial = 100.0;        ///< starting energy per node
+  double member_cost = 0.1;      ///< per-epoch drain as plain member
+  double gateway_cost = 0.5;     ///< per-epoch drain as gateway
+  double clusterhead_cost = 1.0; ///< per-epoch drain as clusterhead
+};
+
+/// Tracks per-node residual energy across epochs.
+class EnergyState {
+ public:
+  EnergyState(const EnergyConfig& cfg, std::size_t num_nodes);
+
+  double residual(NodeId u) const;
+  bool alive(NodeId u) const { return residual(u) > 0.0; }
+  std::size_t alive_count() const;
+
+  /// Applies one epoch of drain given each node's role.
+  void apply_epoch(const std::vector<NodeRole>& roles);
+
+  const EnergyConfig& config() const noexcept { return cfg_; }
+
+ private:
+  EnergyConfig cfg_;
+  std::vector<double> residual_;
+};
+
+}  // namespace khop

@@ -1,0 +1,40 @@
+/// \file generator.hpp
+/// Random connected ad hoc network generation, parameterized exactly like the
+/// paper's simulation: node count N in a 100x100 field and a target average
+/// node degree D (the transmission radius is derived from D).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "khop/common/rng.hpp"
+#include "khop/net/network.hpp"
+
+namespace khop {
+
+/// How the transmission radius is chosen for a target average degree.
+enum class RadiusMode : std::uint8_t {
+  kAnalytic,    ///< r = sqrt(D*A / (pi*(N-1))); ignores border loss
+  kCalibrated,  ///< empirical bisection so the realized mean degree ~= D
+};
+
+struct GeneratorConfig {
+  std::size_t num_nodes = 100;
+  Field field{100.0};
+  /// Target average degree (paper uses 6 and 10). Ignored when
+  /// explicit_radius is set.
+  double target_degree = 6.0;
+  std::optional<double> explicit_radius;
+  RadiusMode radius_mode = RadiusMode::kCalibrated;
+
+  /// Theorem 1 requires a connected G: retry placements up to this many
+  /// times, then (if allow_lcc_fallback) keep the largest connected
+  /// component, else throw NotConnected.
+  std::size_t max_placement_attempts = 200;
+  bool allow_lcc_fallback = true;
+};
+
+/// Generates a network per \p cfg. Deterministic in (cfg, rng seed).
+AdHocNetwork generate_network(const GeneratorConfig& cfg, Rng& rng);
+
+}  // namespace khop

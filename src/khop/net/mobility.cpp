@@ -1,0 +1,112 @@
+#include "khop/net/mobility.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "khop/common/assert.hpp"
+
+namespace khop {
+
+namespace {
+
+/// Standard-normal draw via Box-Muller (deterministic in rng).
+double gaussian(Rng& rng) {
+  const double u1 = 1.0 - rng.uniform();  // (0, 1]
+  const double u2 = rng.uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace
+
+GaussMarkovModel::GaussMarkovModel(const GaussMarkovConfig& cfg,
+                                   std::size_t num_nodes, Rng& rng)
+    : cfg_(cfg), states_(num_nodes) {
+  KHOP_REQUIRE(cfg.alpha >= 0.0 && cfg.alpha <= 1.0, "alpha must be in [0,1]");
+  KHOP_REQUIRE(cfg.mean_speed > 0.0, "mean speed must be positive");
+  for (auto& st : states_) {
+    st.speed = cfg.mean_speed;
+    st.direction = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  }
+}
+
+void GaussMarkovModel::step(AdHocNetwork& net, Rng& rng) {
+  KHOP_REQUIRE(net.positions.size() == states_.size(),
+               "network/model size mismatch");
+  const double a = cfg_.alpha;
+  const double root = std::sqrt(1.0 - a * a);
+  for (NodeId i = 0; i < states_.size(); ++i) {
+    NodeState& st = states_[i];
+    st.speed = a * st.speed + (1.0 - a) * cfg_.mean_speed +
+               root * cfg_.speed_sigma * gaussian(rng);
+    st.speed = std::max(0.0, st.speed);
+    // Mean direction is the current one: direction drifts, it does not
+    // revert, which is what keeps trajectories smooth.
+    st.direction += root * cfg_.dir_sigma * gaussian(rng);
+
+    Point2& p = net.positions[i];
+    p.x += st.speed * std::cos(st.direction);
+    p.y += st.speed * std::sin(st.direction);
+    // Reflect off borders.
+    if (p.x < 0.0) {
+      p.x = -p.x;
+      st.direction = std::numbers::pi - st.direction;
+    } else if (p.x > net.field.side) {
+      p.x = 2.0 * net.field.side - p.x;
+      st.direction = std::numbers::pi - st.direction;
+    }
+    if (p.y < 0.0) {
+      p.y = -p.y;
+      st.direction = -st.direction;
+    } else if (p.y > net.field.side) {
+      p.y = 2.0 * net.field.side - p.y;
+      st.direction = -st.direction;
+    }
+    KHOP_ASSERT(net.field.contains(p), "reflection left the field");
+  }
+}
+
+RandomWaypointModel::RandomWaypointModel(const RandomWaypointConfig& cfg,
+                                         std::size_t num_nodes,
+                                         const Field& field, Rng& rng)
+    : cfg_(cfg), field_(field), states_(num_nodes) {
+  KHOP_REQUIRE(cfg.min_speed > 0.0 && cfg.max_speed >= cfg.min_speed,
+               "bad speed range");
+  for (auto& st : states_) pick_waypoint(st, rng);
+}
+
+void RandomWaypointModel::pick_waypoint(NodeState& st, Rng& rng) const {
+  st.target = {rng.uniform(0.0, field_.side), rng.uniform(0.0, field_.side)};
+  st.speed = rng.uniform(cfg_.min_speed, cfg_.max_speed);
+  st.pause_left = 0.0;
+}
+
+void RandomWaypointModel::step(AdHocNetwork& net, Rng& rng) {
+  KHOP_REQUIRE(net.positions.size() == states_.size(),
+               "network/model size mismatch");
+  for (NodeId i = 0; i < states_.size(); ++i) {
+    NodeState& st = states_[i];
+    if (st.pause_left > 0.0) {
+      st.pause_left -= 1.0;
+      continue;
+    }
+    Point2& p = net.positions[i];
+    const double dx = st.target.x - p.x;
+    const double dy = st.target.y - p.y;
+    const double dist = std::sqrt(dx * dx + dy * dy);
+    if (dist <= st.speed) {
+      p = st.target;
+      // Exponential-ish pause: mean cfg_.pause_ticks, deterministic in rng.
+      st.pause_left = cfg_.pause_ticks > 0.0
+                          ? -cfg_.pause_ticks * std::log(1.0 - rng.uniform())
+                          : 0.0;
+      pick_waypoint(st, rng);
+    } else {
+      p.x += st.speed * dx / dist;
+      p.y += st.speed * dy / dist;
+    }
+  }
+}
+
+}  // namespace khop

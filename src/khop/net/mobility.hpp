@@ -1,0 +1,75 @@
+/// \file mobility.hpp
+/// Random-waypoint mobility. The paper defers movement-sensitive maintenance
+/// to future work but motivates small k by topology churn; the dynamics
+/// examples and benches use this model to drive the maintenance policies of
+/// khop/dynamic.
+#pragma once
+
+#include <vector>
+
+#include "khop/common/rng.hpp"
+#include "khop/net/network.hpp"
+
+namespace khop {
+
+struct RandomWaypointConfig {
+  double min_speed = 1.0;   ///< field units per tick
+  double max_speed = 5.0;
+  double pause_ticks = 2.0; ///< mean pause at a waypoint
+};
+
+/// Per-node waypoint state.
+class RandomWaypointModel {
+ public:
+  RandomWaypointModel(const RandomWaypointConfig& cfg, std::size_t num_nodes,
+                      const Field& field, Rng& rng);
+
+  /// Advances every node by one tick and updates net.positions (the caller
+  /// decides when to rebuild the graph; rebuilding every tick is exact,
+  /// rebuilding every few ticks models beacon latency).
+  void step(AdHocNetwork& net, Rng& rng);
+
+ private:
+  struct NodeState {
+    Point2 target;
+    double speed = 0.0;
+    double pause_left = 0.0;
+  };
+
+  RandomWaypointConfig cfg_;
+  Field field_;
+  std::vector<NodeState> states_;
+
+  void pick_waypoint(NodeState& st, Rng& rng) const;
+};
+
+/// Gauss-Markov mobility: per-node speed and direction evolve as first-order
+/// autoregressive processes, producing temporally correlated motion (no
+/// sharp waypoint turns). alpha = 1 is straight-line motion, alpha = 0 is
+/// memoryless Brownian-like drift. Nodes reflect off field borders.
+struct GaussMarkovConfig {
+  double alpha = 0.75;        ///< memory level in [0, 1]
+  double mean_speed = 3.0;    ///< field units per tick
+  double speed_sigma = 1.0;   ///< randomness fed into the speed process
+  double dir_sigma = 0.5;     ///< randomness fed into the direction (rad)
+};
+
+class GaussMarkovModel {
+ public:
+  GaussMarkovModel(const GaussMarkovConfig& cfg, std::size_t num_nodes,
+                   Rng& rng);
+
+  /// Advances every node one tick, updating net.positions.
+  void step(AdHocNetwork& net, Rng& rng);
+
+ private:
+  struct NodeState {
+    double speed = 0.0;
+    double direction = 0.0;  ///< radians
+  };
+
+  GaussMarkovConfig cfg_;
+  std::vector<NodeState> states_;
+};
+
+}  // namespace khop

@@ -1,0 +1,11 @@
+#include "khop/net/network.hpp"
+
+#include "khop/graph/spatial_grid.hpp"
+
+namespace khop {
+
+void AdHocNetwork::rebuild_graph() {
+  graph = build_unit_disk_graph(positions, radius);
+}
+
+}  // namespace khop

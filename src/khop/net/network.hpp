@@ -1,0 +1,41 @@
+/// \file network.hpp
+/// The simulated ad hoc network: node positions + transmission radius + the
+/// induced unit-disk graph. This is the substrate every paper algorithm runs
+/// on ("we assume all nodes have the same transmission range... an ideal MAC
+/// layer protocol" - paper section 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "khop/geom/point.hpp"
+#include "khop/graph/graph.hpp"
+
+namespace khop {
+
+/// How a generated topology satisfied the connectivity requirement.
+enum class ConnectivityOutcome : std::uint8_t {
+  kConnectedFirstTry,   ///< first placement was connected
+  kConnectedAfterRetry, ///< a retry produced a connected placement
+  kLargestComponent,    ///< fell back to the largest connected component
+};
+
+struct AdHocNetwork {
+  Field field;
+  double radius = 0.0;
+  std::vector<Point2> positions;  ///< indexed by NodeId
+  Graph graph;                    ///< unit-disk graph at `radius`
+
+  // Generation provenance.
+  ConnectivityOutcome connectivity = ConnectivityOutcome::kConnectedFirstTry;
+  std::size_t placement_attempts = 1;
+  std::size_t requested_nodes = 0;  ///< may exceed graph.num_nodes() when the
+                                    ///< LCC fallback dropped nodes
+
+  std::size_t num_nodes() const noexcept { return graph.num_nodes(); }
+
+  /// Rebuilds the unit-disk graph from the current positions (after moves).
+  void rebuild_graph();
+};
+
+}  // namespace khop

@@ -1,0 +1,58 @@
+/// \file thread_pool.hpp
+/// Fixed-size worker pool used by the Monte-Carlo experiment harness.
+///
+/// Design notes (per the C++ Core Guidelines concurrency rules): workers are
+/// std::jthread so destruction joins automatically; tasks capture by value or
+/// own their state (no dangling references across threads); completion is
+/// tracked with a counter + condition variable rather than futures to keep
+/// the hot path allocation-light.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace khop {
+
+class ThreadPool {
+ public:
+  /// \p num_threads == 0 selects hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Joins all workers; pending tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task. Tasks must not throw; wrap user code appropriately.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // queued + running
+  bool stopping_ = false;
+  std::vector<std::jthread> workers_;
+
+  void worker_loop();
+};
+
+/// Runs fn(i) for i in [0, count) across \p pool, blocking until done.
+/// Static block partitioning: deterministic work assignment (results must not
+/// depend on scheduling anyway - callers write to disjoint slots).
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace khop

@@ -1,0 +1,109 @@
+#include "khop/sim/engine.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "khop/common/assert.hpp"
+
+namespace khop {
+
+std::size_t NodeContext::round() const noexcept { return engine_->round_; }
+
+std::span<const NodeId> NodeContext::neighbors() const {
+  return engine_->graph_->neighbors(id_);
+}
+
+void NodeContext::broadcast(std::uint16_t type,
+                            std::vector<std::int64_t> data) {
+  ++engine_->stats_.transmissions;
+  engine_->stats_.payload_words += data.size();
+  for (NodeId v : engine_->graph_->neighbors(id_)) {
+    engine_->enqueue(id_, v, type, data);
+  }
+}
+
+void NodeContext::send(NodeId to, std::uint16_t type,
+                       std::vector<std::int64_t> data) {
+  KHOP_REQUIRE(engine_->graph_->has_edge(id_, to),
+               "addressed send target is not a neighbor");
+  ++engine_->stats_.transmissions;
+  engine_->stats_.payload_words += data.size();
+  engine_->enqueue(id_, to, type, data);
+}
+
+SyncEngine::SyncEngine(const Graph& g, const AgentFactory& factory)
+    : graph_(&g), pending_(g.num_nodes()) {
+  KHOP_REQUIRE(static_cast<bool>(factory), "agent factory required");
+  agents_.reserve(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    agents_.push_back(factory(v));
+    KHOP_REQUIRE(agents_.back() != nullptr, "factory returned null agent");
+  }
+}
+
+void SyncEngine::enqueue(NodeId from, NodeId to, std::uint16_t type,
+                         const std::vector<std::int64_t>& data) {
+  pending_[to].push_back(Message{from, type, data});
+  ++pending_count_;
+}
+
+NodeAgent& SyncEngine::agent(NodeId v) {
+  KHOP_REQUIRE(v < agents_.size(), "node out of range");
+  return *agents_[v];
+}
+
+const NodeAgent& SyncEngine::agent(NodeId v) const {
+  KHOP_REQUIRE(v < agents_.size(), "node out of range");
+  return *agents_[v];
+}
+
+bool SyncEngine::run(std::size_t max_rounds) {
+  round_ = 0;
+  for (NodeId v = 0; v < graph_->num_nodes(); ++v) {
+    NodeContext ctx(*this, v);
+    agents_[v]->on_start(ctx);
+  }
+
+  while (round_ < max_rounds) {
+    // Quiescence check at the round boundary.
+    if (pending_count_ == 0) {
+      const bool all_done = std::all_of(
+          agents_.begin(), agents_.end(),
+          [](const std::unique_ptr<NodeAgent>& a) { return a->finished(); });
+      if (all_done) return true;
+    }
+
+    ++round_;
+    ++stats_.rounds;
+
+    // Swap out this round's deliveries; handlers enqueue into the fresh set.
+    std::vector<std::vector<Message>> inbox(graph_->num_nodes());
+    inbox.swap(pending_);
+    pending_count_ = 0;
+
+    for (NodeId v = 0; v < graph_->num_nodes(); ++v) {
+      auto& box = inbox[v];
+      std::sort(box.begin(), box.end(),
+                [](const Message& a, const Message& b) {
+                  return std::tie(a.sender, a.type, a.data) <
+                         std::tie(b.sender, b.type, b.data);
+                });
+      NodeContext ctx(*this, v);
+      for (const Message& msg : box) {
+        ++stats_.receptions;
+        agents_[v]->on_message(ctx, msg);
+      }
+    }
+    for (NodeId v = 0; v < graph_->num_nodes(); ++v) {
+      NodeContext ctx(*this, v);
+      agents_[v]->on_round_end(ctx);
+    }
+  }
+  return pending_count_ == 0 &&
+         std::all_of(agents_.begin(), agents_.end(),
+                     [](const std::unique_ptr<NodeAgent>& a) {
+                       return a->finished();
+                     });
+}
+
+}  // namespace khop

@@ -1,0 +1,101 @@
+/// \file engine.hpp
+/// Synchronous round-based simulator for distributed protocols.
+///
+/// Timing model: a message sent during round r (in on_start for r = 0, or in
+/// on_message / on_round_end handlers) is delivered at round r+1. Hence a
+/// flood started at round 0 reaches hop-h nodes exactly at round h, which is
+/// how the protocol implementations schedule their phase boundaries.
+///
+/// Determinism: nodes process their inboxes in ascending node order, and
+/// each inbox is sorted by (sender, type, payload). Every protocol result is
+/// therefore a pure function of the topology - the property the test suite
+/// uses to cross-validate protocols against the centralized algorithms.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "khop/graph/graph.hpp"
+#include "khop/sim/message.hpp"
+
+namespace khop {
+
+class SyncEngine;
+
+/// Per-node handle the engine passes to agent callbacks.
+class NodeContext {
+ public:
+  NodeId id() const noexcept { return id_; }
+  std::size_t round() const noexcept;
+  std::span<const NodeId> neighbors() const;
+
+  /// Local broadcast: delivered to every neighbor next round.
+  void broadcast(std::uint16_t type, std::vector<std::int64_t> data);
+
+  /// Addressed send to a direct neighbor: delivered next round.
+  /// \pre `to` is a neighbor of this node
+  void send(NodeId to, std::uint16_t type, std::vector<std::int64_t> data);
+
+ private:
+  friend class SyncEngine;
+  NodeContext(SyncEngine& engine, NodeId id) : engine_(&engine), id_(id) {}
+  SyncEngine* engine_;
+  NodeId id_;
+};
+
+/// A protocol's per-node state machine.
+class NodeAgent {
+ public:
+  virtual ~NodeAgent() = default;
+
+  /// Round 0: initial sends.
+  virtual void on_start(NodeContext& /*ctx*/) {}
+
+  /// One delivered message (round >= 1).
+  virtual void on_message(NodeContext& ctx, const Message& msg) = 0;
+
+  /// End of every round (round >= 1), after all deliveries of that round.
+  virtual void on_round_end(NodeContext& /*ctx*/) {}
+
+  /// Termination hint: the engine stops when every agent is finished and no
+  /// messages are in flight.
+  virtual bool finished() const { return true; }
+};
+
+/// The simulator. Owns one agent per node.
+class SyncEngine {
+ public:
+  using AgentFactory = std::function<std::unique_ptr<NodeAgent>(NodeId)>;
+
+  SyncEngine(const Graph& g, const AgentFactory& factory);
+
+  /// Runs until quiescence (all agents finished, nothing in flight) or
+  /// \p max_rounds. Returns true iff it reached quiescence.
+  bool run(std::size_t max_rounds);
+
+  const SimStats& stats() const noexcept { return stats_; }
+  std::size_t round() const noexcept { return round_; }
+
+  NodeAgent& agent(NodeId v);
+  const NodeAgent& agent(NodeId v) const;
+
+  const Graph& graph() const noexcept { return *graph_; }
+
+ private:
+  friend class NodeContext;
+
+  const Graph* graph_;
+  std::vector<std::unique_ptr<NodeAgent>> agents_;
+  /// Messages to deliver next round, per destination.
+  std::vector<std::vector<Message>> pending_;
+  std::size_t pending_count_ = 0;
+  std::size_t round_ = 0;
+  SimStats stats_;
+
+  void enqueue(NodeId from, NodeId to, std::uint16_t type,
+               const std::vector<std::int64_t>& data);
+};
+
+}  // namespace khop

@@ -1,0 +1,218 @@
+#include "khop/sim/protocols/ancr_protocol.hpp"
+
+#include <algorithm>
+
+#include "khop/common/assert.hpp"
+
+namespace khop {
+
+AncrAgent::AncrAgent(Hops k, NodeId my_head, Hops my_dist)
+    : k_(k), my_head_(my_head), my_dist_(my_dist) {
+  KHOP_REQUIRE(k >= 1, "k must be >= 1");
+}
+
+bool AncrAgent::is_head(NodeContext& ctx) const {
+  return my_head_ == ctx.id();
+}
+
+bool AncrAgent::finished() const { return ancr_done_; }
+
+std::vector<NodeId> AncrAgent::adjacent_heads() const {
+  return {adjacency_.begin(), adjacency_.end()};
+}
+
+void AncrAgent::on_start(NodeContext& ctx) {
+  am_head_ = is_head(ctx);
+  if (am_head_) {
+    ctx.broadcast(kHeadcast, {static_cast<std::int64_t>(ctx.id()), 1});
+  }
+}
+
+void AncrAgent::on_message(NodeContext& ctx, const Message& msg) {
+  switch (msg.type) {
+    case kHeadcast: {
+      const auto origin = static_cast<NodeId>(msg.data[0]);
+      const auto hops = static_cast<Hops>(msg.data[1]);
+      if (origin == ctx.id()) return;
+      auto [it, inserted] = near_heads_.try_emplace(origin);
+      if (inserted || hops < it->second.dist) {
+        it->second.dist = hops;
+        it->second.parent = msg.sender;
+        if (hops < k_) {
+          ctx.broadcast(kHeadcast,
+                        {static_cast<std::int64_t>(origin),
+                         static_cast<std::int64_t>(hops + 1)});
+        }
+      } else if (hops == it->second.dist && msg.sender < it->second.parent) {
+        it->second.parent = msg.sender;
+      }
+      break;
+    }
+    case kClusterId: {
+      neighbor_heads_[msg.sender] = static_cast<NodeId>(msg.data[0]);
+      break;
+    }
+    case kWitness: {
+      const auto target = static_cast<NodeId>(msg.data[0]);
+      if (target == ctx.id()) {
+        for (std::size_t i = 1; i < msg.data.size(); ++i) {
+          adjacency_.insert(static_cast<NodeId>(msg.data[i]));
+        }
+      } else {
+        const auto it = near_heads_.find(target);
+        KHOP_ASSERT(it != near_heads_.end(),
+                    "witness relay has no route toward the head");
+        ctx.send(it->second.parent, kWitness, msg.data);
+      }
+      break;
+    }
+    case kHeadcast2: {
+      const auto origin = static_cast<NodeId>(msg.data[0]);
+      const auto hops = static_cast<Hops>(msg.data[1]);
+      if (origin == ctx.id()) return;
+      auto [it, inserted] = far_heads_.try_emplace(origin);
+      if (inserted || hops < it->second.dist) {
+        it->second.dist = hops;
+        it->second.parent = msg.sender;
+        if (hops < 2 * k_ + 1) {
+          ctx.broadcast(kHeadcast2,
+                        {static_cast<std::int64_t>(origin),
+                         static_cast<std::int64_t>(hops + 1)});
+        }
+      } else if (hops == it->second.dist && msg.sender < it->second.parent) {
+        it->second.parent = msg.sender;
+      }
+      break;
+    }
+    case kAdjSet: {
+      const auto origin = static_cast<NodeId>(msg.data[0]);
+      const auto hops = static_cast<Hops>(msg.data[1]);
+      if (origin == ctx.id()) return;
+      // Flood with duplicate suppression keyed on "already stored".
+      const bool known = heard_adjsets_.contains(origin);
+      if (!known) {
+        std::vector<std::pair<NodeId, Hops>> set;
+        for (std::size_t i = 2; i + 1 < msg.data.size(); i += 2) {
+          set.emplace_back(static_cast<NodeId>(msg.data[i]),
+                           static_cast<Hops>(msg.data[i + 1]));
+        }
+        heard_adjsets_.emplace(origin, std::move(set));
+        if (hops < 2 * k_ + 1) {
+          std::vector<std::int64_t> fwd = msg.data;
+          fwd[1] = static_cast<std::int64_t>(hops + 1);
+          ctx.broadcast(kAdjSet, std::move(fwd));
+        }
+      }
+      break;
+    }
+    default:
+      KHOP_ASSERT(false, "unexpected message type in AncrAgent");
+  }
+}
+
+void AncrAgent::on_round_end(NodeContext& ctx) {
+  const std::size_t r = ctx.round();
+  const std::size_t k = k_;
+
+  if (r == k) {
+    // Every node announces its cluster once.
+    ctx.broadcast(kClusterId, {static_cast<std::int64_t>(my_head_)});
+  } else if (r == k + 1) {
+    // Witness detection: neighbors in a different cluster.
+    std::set<NodeId> foreign;
+    for (const auto& [nbr, head] : neighbor_heads_) {
+      if (head != my_head_) foreign.insert(head);
+    }
+    if (!foreign.empty()) {
+      if (am_head_) {
+        adjacency_.insert(foreign.begin(), foreign.end());
+      } else {
+        std::vector<std::int64_t> data{static_cast<std::int64_t>(my_head_)};
+        for (NodeId h : foreign) data.push_back(static_cast<std::int64_t>(h));
+        const auto it = near_heads_.find(my_head_);
+        KHOP_ASSERT(it != near_heads_.end(),
+                    "member never heard its own head's HEADCAST");
+        ctx.send(it->second.parent, kWitness, std::move(data));
+      }
+    }
+  } else if (r == 2 * k + 1) {
+    if (am_head_) {
+      ctx.broadcast(kHeadcast2, {static_cast<std::int64_t>(ctx.id()), 1});
+    }
+  } else if (r == 4 * k + 2) {
+    if (am_head_) {
+      std::vector<std::int64_t> data{static_cast<std::int64_t>(ctx.id()), 1};
+      for (NodeId adj : adjacency_) {
+        const auto it = far_heads_.find(adj);
+        KHOP_ASSERT(it != far_heads_.end(),
+                    "adjacent head not heard within 2k+1 hops");
+        data.push_back(static_cast<std::int64_t>(adj));
+        data.push_back(static_cast<std::int64_t>(it->second.dist));
+      }
+      ctx.broadcast(kAdjSet, std::move(data));
+    }
+  } else if (r == done_round()) {
+    ancr_done_ = true;
+    on_ancr_complete(ctx);
+  }
+}
+
+NeighborSelection run_distributed_nc(const Graph& g, const Clustering& c,
+                                     SimStats* stats) {
+  SyncEngine engine(g, [&](NodeId v) {
+    return std::make_unique<AncrAgent>(c.k, c.head_of[v], c.dist_to_head[v]);
+  });
+  const bool done = engine.run(8 * static_cast<std::size_t>(c.k) + 16);
+  KHOP_ASSERT(done, "distributed NC did not terminate");
+  if (stats != nullptr) *stats = engine.stats();
+
+  NeighborSelection sel;
+  sel.rule = NeighborRule::kAllWithin2k1;
+  sel.selected.resize(c.heads.size());
+  for (std::uint32_t i = 0; i < c.heads.size(); ++i) {
+    const auto& agent =
+        dynamic_cast<const AncrAgent&>(engine.agent(c.heads[i]));
+    for (const auto& [head, info] : agent.far_heads()) {
+      if (!std::binary_search(c.heads.begin(), c.heads.end(), head)) continue;
+      sel.selected[i].push_back(head);
+      sel.head_pairs.emplace_back(std::min(c.heads[i], head),
+                                  std::max(c.heads[i], head));
+    }
+    std::sort(sel.selected[i].begin(), sel.selected[i].end());
+  }
+  std::sort(sel.head_pairs.begin(), sel.head_pairs.end());
+  sel.head_pairs.erase(
+      std::unique(sel.head_pairs.begin(), sel.head_pairs.end()),
+      sel.head_pairs.end());
+  return sel;
+}
+
+NeighborSelection run_distributed_ancr(const Graph& g, const Clustering& c,
+                                       SimStats* stats) {
+  SyncEngine engine(g, [&](NodeId v) {
+    return std::make_unique<AncrAgent>(c.k, c.head_of[v], c.dist_to_head[v]);
+  });
+  const bool done = engine.run(8 * static_cast<std::size_t>(c.k) + 16);
+  KHOP_ASSERT(done, "distributed A-NCR did not terminate");
+  if (stats != nullptr) *stats = engine.stats();
+
+  NeighborSelection sel;
+  sel.rule = NeighborRule::kAdjacent;
+  sel.selected.resize(c.heads.size());
+  for (std::uint32_t i = 0; i < c.heads.size(); ++i) {
+    const auto& agent =
+        dynamic_cast<const AncrAgent&>(engine.agent(c.heads[i]));
+    sel.selected[i] = agent.adjacent_heads();
+    for (NodeId other : sel.selected[i]) {
+      sel.head_pairs.emplace_back(std::min(c.heads[i], other),
+                                  std::max(c.heads[i], other));
+    }
+  }
+  std::sort(sel.head_pairs.begin(), sel.head_pairs.end());
+  sel.head_pairs.erase(
+      std::unique(sel.head_pairs.begin(), sel.head_pairs.end()),
+      sel.head_pairs.end());
+  return sel;
+}
+
+}  // namespace khop

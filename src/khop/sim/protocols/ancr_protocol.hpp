@@ -1,0 +1,111 @@
+/// \file ancr_protocol.hpp
+/// Distributed A-NCR (paper section 3.1 / algorithm AC-LMST steps 1-8):
+/// given an already-clustered network, each clusterhead learns its adjacent
+/// clusterheads, the hop distances to them, and its neighbors' own adjacency
+/// sets - everything LMSTGA needs - using only local message exchange.
+///
+/// Phase schedule (k = clustering parameter; rounds are engine rounds):
+///   [0, k]        HEADCAST    heads flood their id k hops; members record
+///                             distance + parent toward their own head.
+///   k             CLUSTERID   every node broadcasts its head id once.
+///   (k, 2k+1]     WITNESS     nodes that saw a foreign-cluster neighbor
+///                             report that cluster's head id to their own
+///                             head along HEADCAST parents.
+///   (2k+1, 4k+2]  HEADCAST2   heads flood their id 2k+1 hops; everyone
+///                             records distance + parent toward each head
+///                             within 2k+1 hops.
+///   (4k+2, 6k+3]  ADJSET      heads flood their adjacency set (with
+///                             distances) 2k+1 hops; heads capture their
+///                             neighbors' sets.
+///
+/// After round 6k+3 each head holds exactly the A-NCR neighbor selection the
+/// centralized select_neighbors(kAdjacent) computes.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "khop/cluster/clustering.hpp"
+#include "khop/nbr/neighbor_rules.hpp"
+#include "khop/sim/engine.hpp"
+
+namespace khop {
+
+class AncrAgent : public NodeAgent {
+ public:
+  struct HeadInfo {
+    Hops dist = kUnreachable;
+    NodeId parent = kInvalidNode;
+  };
+
+  /// \p my_head / \p my_dist come from a completed clustering.
+  AncrAgent(Hops k, NodeId my_head, Hops my_dist);
+
+  void on_start(NodeContext& ctx) override;
+  void on_message(NodeContext& ctx, const Message& msg) override;
+  void on_round_end(NodeContext& ctx) override;
+  bool finished() const override;
+
+  bool is_head(NodeContext& ctx) const;
+  NodeId my_head() const noexcept { return my_head_; }
+
+  /// Heads only: adjacent head ids (the A-NCR selection), ascending.
+  std::vector<NodeId> adjacent_heads() const;
+  /// Heads only: adjacency sets heard from other heads (head -> its set
+  /// with hop distances).
+  const std::map<NodeId, std::vector<std::pair<NodeId, Hops>>>&
+  neighbor_adjsets() const noexcept {
+    return heard_adjsets_;
+  }
+  /// Every node: info (distance, parent) per head within 2k+1 hops.
+  const std::map<NodeId, HeadInfo>& far_heads() const noexcept {
+    return far_heads_;
+  }
+
+  /// Round after which the A-NCR state is complete.
+  std::size_t done_round() const noexcept {
+    return 6 * static_cast<std::size_t>(k_) + 3;
+  }
+
+ protected:
+  static constexpr std::uint16_t kHeadcast = 20;
+  static constexpr std::uint16_t kClusterId = 21;
+  static constexpr std::uint16_t kWitness = 22;
+  static constexpr std::uint16_t kHeadcast2 = 23;
+  static constexpr std::uint16_t kAdjSet = 24;
+
+  Hops k_;
+  NodeId my_head_;
+  Hops my_dist_;
+  bool am_head_ = false;
+
+  /// Phase 1: heads within k hops (distance, parent toward them).
+  std::map<NodeId, HeadInfo> near_heads_;
+  /// Neighbor -> its head id, from CLUSTERID.
+  std::map<NodeId, NodeId> neighbor_heads_;
+  /// Heads only: adjacent head ids accumulated from witnesses.
+  std::set<NodeId> adjacency_;
+  /// Phase 4: heads within 2k+1 hops.
+  std::map<NodeId, HeadInfo> far_heads_;
+  /// Phase 5: other heads' adjacency sets.
+  std::map<NodeId, std::vector<std::pair<NodeId, Hops>>> heard_adjsets_;
+
+  bool ancr_done_ = false;
+
+  /// Hook for subclasses: called once at round done_round().
+  virtual void on_ancr_complete(NodeContext& /*ctx*/) {}
+};
+
+/// Runs the protocol over a clustered graph and returns the selection in the
+/// same shape as the centralized select_neighbors(kAdjacent).
+NeighborSelection run_distributed_ancr(const Graph& g, const Clustering& c,
+                                       SimStats* stats = nullptr);
+
+/// The NC baseline as a protocol: the same exchange, but each head selects
+/// every head it heard within 2k+1 hops (HEADCAST2) instead of only the
+/// adjacent ones. Matches select_neighbors(kAllWithin2k1).
+NeighborSelection run_distributed_nc(const Graph& g, const Clustering& c,
+                                     SimStats* stats = nullptr);
+
+}  // namespace khop

@@ -1,0 +1,211 @@
+#include "khop/sim/protocols/clustering_protocol.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <tuple>
+
+#include "khop/common/assert.hpp"
+
+namespace khop {
+
+std::int64_t encode_priority(double key) noexcept {
+  auto u = std::bit_cast<std::uint64_t>(key);
+  // Map IEEE754 order onto unsigned order, then shift into signed order.
+  u = (u & 0x8000000000000000ULL) ? ~u : (u | 0x8000000000000000ULL);
+  return std::bit_cast<std::int64_t>(u ^ 0x8000000000000000ULL);
+}
+
+DistributedClusteringAgent::DistributedClusteringAgent(Hops k,
+                                                       PriorityKey priority,
+                                                       AffiliationRule rule)
+    : k_(k), priority_(priority), rule_(rule) {
+  KHOP_REQUIRE(k >= 1, "k must be >= 1");
+  KHOP_REQUIRE(rule != AffiliationRule::kSizeBased,
+               "size-based affiliation needs non-local cluster sizes; use the "
+               "centralized khop_clustering for it");
+}
+
+void DistributedClusteringAgent::begin_iteration(NodeContext& ctx) {
+  candidates_.clear();
+  candidate_keys_.clear();
+  declares_.clear();
+  if (state_ == State::kUndecided) {
+    ctx.broadcast(kCandidate,
+                  {iteration_, static_cast<std::int64_t>(ctx.id()),
+                   encode_priority(priority_.key), 1});
+  }
+}
+
+void DistributedClusteringAgent::on_start(NodeContext& ctx) {
+  begin_iteration(ctx);
+}
+
+void DistributedClusteringAgent::on_message(NodeContext& ctx,
+                                            const Message& msg) {
+  switch (msg.type) {
+    case kCandidate: {
+      const std::int64_t iter = msg.data[0];
+      if (iter != iteration_) return;  // stale flood remnants: drop
+      const auto origin = static_cast<NodeId>(msg.data[1]);
+      const std::int64_t enc_key = msg.data[2];
+      const auto hops = static_cast<Hops>(msg.data[3]);
+      if (origin == ctx.id()) return;
+
+      auto [it, inserted] = candidates_.try_emplace(origin);
+      if (inserted || hops < it->second.dist) {
+        it->second.dist = hops;
+        it->second.parent = msg.sender;
+        candidate_keys_[origin] = {enc_key, origin};
+        if (hops < k_) {
+          ctx.broadcast(kCandidate,
+                        {iter, static_cast<std::int64_t>(origin), enc_key,
+                         static_cast<std::int64_t>(hops + 1)});
+        }
+      }
+      break;
+    }
+    case kDeclare: {
+      const std::int64_t iter = msg.data[0];
+      if (iter != iteration_) return;
+      const auto origin = static_cast<NodeId>(msg.data[1]);
+      const auto hops = static_cast<Hops>(msg.data[2]);
+      if (origin == ctx.id()) return;
+
+      auto [it, inserted] = declares_.try_emplace(origin);
+      if (inserted || hops < it->second.dist) {
+        it->second.dist = hops;
+        it->second.parent = msg.sender;
+        if (hops < k_) {
+          ctx.broadcast(kDeclare,
+                        {iter, static_cast<std::int64_t>(origin),
+                         static_cast<std::int64_t>(hops + 1)});
+        }
+      } else if (hops == it->second.dist && msg.sender < it->second.parent) {
+        it->second.parent = msg.sender;
+      }
+      break;
+    }
+    case kJoin: {
+      const auto head = static_cast<NodeId>(msg.data[0]);
+      const auto member = static_cast<NodeId>(msg.data[1]);
+      if (head == ctx.id()) {
+        members_.push_back(member);
+      } else {
+        const auto it = declares_.find(head);
+        KHOP_ASSERT(it != declares_.end(),
+                    "JOIN relay has no route toward the head");
+        ctx.send(it->second.parent, kJoin, msg.data);
+      }
+      break;
+    }
+    default:
+      KHOP_ASSERT(false, "unexpected message type");
+  }
+}
+
+void DistributedClusteringAgent::on_round_end(NodeContext& ctx) {
+  const std::size_t local = ctx.round() % iteration_len();
+
+  if (local == static_cast<std::size_t>(k_)) {
+    // Election point. Only undecided nodes participate; candidate floods
+    // originate from undecided nodes only, so the comparison set is right.
+    if (state_ == State::kUndecided) {
+      const std::pair<std::int64_t, NodeId> mine{
+          encode_priority(priority_.key), ctx.id()};
+      bool best = true;
+      for (const auto& [origin, key] : candidate_keys_) {
+        if (key < mine) {
+          best = false;
+          break;
+        }
+      }
+      if (best) {
+        state_ = State::kHead;
+        head_ = ctx.id();
+        dist_to_head_ = 0;
+        members_.push_back(ctx.id());
+        ctx.broadcast(kDeclare, {iteration_,
+                                 static_cast<std::int64_t>(ctx.id()), 1});
+      }
+    }
+  } else if (local == static_cast<std::size_t>(2) * k_ && ctx.round() > 0) {
+    // Affiliation point.
+    if (state_ == State::kUndecided && !declares_.empty()) {
+      NodeId chosen = kInvalidNode;
+      Hops chosen_dist = kUnreachable;
+      for (const auto& [origin, rec] : declares_) {
+        bool better = false;
+        if (chosen == kInvalidNode) {
+          better = true;
+        } else if (rule_ == AffiliationRule::kIdBased) {
+          better = origin < chosen;
+        } else {
+          better = std::tuple(rec.dist, origin) <
+                   std::tuple(chosen_dist, chosen);
+        }
+        if (better) {
+          chosen = origin;
+          chosen_dist = rec.dist;
+        }
+      }
+      state_ = State::kMember;
+      head_ = chosen;
+      dist_to_head_ = chosen_dist;
+      const auto route = declares_.find(chosen);
+      KHOP_ASSERT(route != declares_.end(), "member lost its declare route");
+      ctx.send(route->second.parent, kJoin,
+               {static_cast<std::int64_t>(chosen),
+                static_cast<std::int64_t>(ctx.id())});
+    }
+  } else if (local == 0 && ctx.round() > 0) {
+    // New iteration for any remaining undecided nodes.
+    ++iteration_;
+    begin_iteration(ctx);
+  }
+}
+
+Clustering run_distributed_clustering(const Graph& g, Hops k,
+                                      const std::vector<PriorityKey>& prio,
+                                      AffiliationRule rule, SimStats* stats) {
+  KHOP_REQUIRE(prio.size() == g.num_nodes(), "one priority per node");
+
+  SyncEngine engine(g, [&](NodeId v) {
+    return std::make_unique<DistributedClusteringAgent>(k, prio[v], rule);
+  });
+  // Worst case: one new head per iteration, n iterations of 3k rounds.
+  const std::size_t max_rounds = 3 * static_cast<std::size_t>(k) *
+                                     (g.num_nodes() + 2) +
+                                 16;
+  const bool done = engine.run(max_rounds);
+  KHOP_ASSERT(done, "distributed clustering did not terminate");
+  if (stats != nullptr) *stats = engine.stats();
+
+  Clustering c;
+  c.k = k;
+  const std::size_t n = g.num_nodes();
+  c.head_of.assign(n, kInvalidNode);
+  c.dist_to_head.assign(n, kUnreachable);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& agent =
+        dynamic_cast<const DistributedClusteringAgent&>(engine.agent(v));
+    c.head_of[v] = agent.head();
+    c.dist_to_head[v] = agent.dist_to_head();
+    if (agent.state() == DistributedClusteringAgent::State::kHead) {
+      c.heads.push_back(v);
+    }
+  }
+  c.election_rounds = engine.stats().rounds;
+
+  c.cluster_of.assign(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto it =
+        std::lower_bound(c.heads.begin(), c.heads.end(), c.head_of[v]);
+    KHOP_ASSERT(it != c.heads.end() && *it == c.head_of[v],
+                "protocol produced inconsistent head_of");
+    c.cluster_of[v] =
+        static_cast<std::uint32_t>(std::distance(c.heads.begin(), it));
+  }
+  return c;
+}
+
+}  // namespace khop

@@ -1,0 +1,143 @@
+#include "khop/sim/protocols/gateway_protocol.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "khop/common/assert.hpp"
+#include "khop/graph/mst.hpp"
+
+namespace khop {
+
+void LmstGatewayAgent::route(NodeContext& ctx, std::uint16_t type,
+                             NodeId target, std::vector<std::int64_t> data) {
+  const auto it = far_heads_.find(target);
+  KHOP_ASSERT(it != far_heads_.end(), "no route toward mark target");
+  ctx.send(it->second.parent, type, std::move(data));
+}
+
+void LmstGatewayAgent::emit_mark(NodeContext& ctx, NodeId smaller) {
+  // MARK travels toward the smaller endpoint; relays become gateways.
+  const auto pair = std::pair(smaller, ctx.id());
+  if (!marks_emitted_.insert(pair).second) return;  // already marked
+  if (far_heads_.at(smaller).dist == 1) return;     // no interior to mark
+  route(ctx, kMark, smaller,
+        {static_cast<std::int64_t>(smaller), static_cast<std::int64_t>(ctx.id())});
+}
+
+void LmstGatewayAgent::on_ancr_complete(NodeContext& ctx) {
+  if (!is_head(ctx)) return;
+  const std::vector<NodeId> nbrs = adjacent_heads();
+  if (nbrs.empty()) return;
+
+  // Local node set {self} ∪ S, ascending (id order == local index order).
+  std::vector<NodeId> local_nodes = nbrs;
+  local_nodes.push_back(ctx.id());
+  std::sort(local_nodes.begin(), local_nodes.end());
+  std::map<NodeId, NodeId> local_of;
+  for (NodeId i = 0; i < local_nodes.size(); ++i) local_of[local_nodes[i]] = i;
+
+  const auto pair_known = [&](NodeId a, NodeId b) -> std::optional<Hops> {
+    // Link (self, s): own adjacency. Link (s1, s2): from s1's ADJSET.
+    if (a == ctx.id() || b == ctx.id()) {
+      const NodeId other = a == ctx.id() ? b : a;
+      const auto it = far_heads_.find(other);
+      KHOP_ASSERT(it != far_heads_.end(), "adjacent head without distance");
+      return it->second.dist;
+    }
+    const auto it = heard_adjsets_.find(a);
+    if (it == heard_adjsets_.end()) return std::nullopt;
+    for (const auto& [head, dist] : it->second) {
+      if (head == b) return dist;
+    }
+    return std::nullopt;
+  };
+
+  std::vector<std::vector<WeightedEdge>> adj(local_nodes.size());
+  for (std::size_t a = 0; a < local_nodes.size(); ++a) {
+    for (std::size_t b = a + 1; b < local_nodes.size(); ++b) {
+      std::optional<Hops> w;
+      if (local_nodes[a] == ctx.id() || local_nodes[b] == ctx.id()) {
+        w = pair_known(local_nodes[a], local_nodes[b]);
+      } else {
+        w = pair_known(local_nodes[a], local_nodes[b]);
+        if (!w) w = pair_known(local_nodes[b], local_nodes[a]);
+      }
+      if (!w) continue;
+      adj[a].push_back({static_cast<NodeId>(a), static_cast<NodeId>(b), *w});
+      adj[b].push_back({static_cast<NodeId>(b), static_cast<NodeId>(a), *w});
+    }
+  }
+
+  const NodeId self_local = local_of.at(ctx.id());
+  const std::vector<NodeId> parent =
+      prim_mst(local_nodes.size(), adj, self_local);
+
+  for (NodeId li = 0; li < local_nodes.size(); ++li) {
+    if (parent[li] != self_local) continue;
+    const NodeId other = local_nodes[li];
+    kept_.emplace(std::min(ctx.id(), other), std::max(ctx.id(), other));
+    if (ctx.id() > other) {
+      emit_mark(ctx, other);
+    } else if (far_heads_.at(other).dist == 1) {
+      // Adjacent heads cannot be 1 hop apart in a valid k-hop clustering,
+      // but guard anyway: nothing to mark.
+    } else {
+      // The larger endpoint must emit the canonical MARK: request it.
+      route(ctx, kReqMark, other,
+            {static_cast<std::int64_t>(other),
+             static_cast<std::int64_t>(ctx.id())});
+    }
+  }
+}
+
+void LmstGatewayAgent::on_message(NodeContext& ctx, const Message& msg) {
+  switch (msg.type) {
+    case kReqMark: {
+      const auto target = static_cast<NodeId>(msg.data[0]);
+      const auto origin = static_cast<NodeId>(msg.data[1]);
+      if (target == ctx.id()) {
+        kept_.emplace(std::min(origin, ctx.id()), std::max(origin, ctx.id()));
+        emit_mark(ctx, origin);
+      } else {
+        route(ctx, kReqMark, target, msg.data);
+      }
+      break;
+    }
+    case kMark: {
+      const auto target = static_cast<NodeId>(msg.data[0]);
+      if (target == ctx.id()) return;  // interior fully marked
+      if (my_head() != ctx.id()) gateway_ = true;  // heads relay unmarked
+      route(ctx, kMark, target, msg.data);
+      break;
+    }
+    default:
+      AncrAgent::on_message(ctx, msg);
+  }
+}
+
+Backbone run_distributed_aclmst(const Graph& g, const Clustering& c,
+                                SimStats* stats) {
+  SyncEngine engine(g, [&](NodeId v) {
+    return std::make_unique<LmstGatewayAgent>(c.k, c.head_of[v],
+                                              c.dist_to_head[v]);
+  });
+  const bool done = engine.run(16 * static_cast<std::size_t>(c.k) + 32);
+  KHOP_ASSERT(done, "distributed AC-LMST did not terminate");
+  if (stats != nullptr) *stats = engine.stats();
+
+  Backbone b;
+  b.pipeline = Pipeline::kAcLmst;
+  b.heads = c.heads;
+  std::set<std::pair<NodeId, NodeId>> links;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto& agent =
+        dynamic_cast<const LmstGatewayAgent&>(engine.agent(v));
+    if (agent.marked_gateway()) b.gateways.push_back(v);
+    links.insert(agent.kept_links().begin(), agent.kept_links().end());
+  }
+  b.virtual_links.assign(links.begin(), links.end());
+  return b;
+}
+
+}  // namespace khop

@@ -1,0 +1,36 @@
+#include "khop/sim/protocols/neighborhood.hpp"
+
+#include "khop/common/assert.hpp"
+
+namespace khop {
+
+void NeighborhoodDiscoveryAgent::on_start(NodeContext& ctx) {
+  ctx.broadcast(kHello, {static_cast<std::int64_t>(ctx.id()), 1});
+}
+
+void NeighborhoodDiscoveryAgent::on_message(NodeContext& ctx,
+                                            const Message& msg) {
+  KHOP_ASSERT(msg.type == kHello, "unexpected message type");
+  const auto origin = static_cast<NodeId>(msg.data[0]);
+  const auto hops = static_cast<Hops>(msg.data[1]);
+  if (origin == ctx.id()) return;
+
+  auto [it, inserted] = known_.try_emplace(origin);
+  Known& rec = it->second;
+  if (inserted || hops < rec.dist) {
+    // First (synchronous flooding => shortest) arrival. The inbox is sorted
+    // by sender, so on the discovery round the first arrival also carries
+    // the minimum-id parent - matching the centralized canonical BFS.
+    rec.dist = hops;
+    rec.parent = msg.sender;
+    if (hops < k_) {
+      ctx.broadcast(kHello,
+                    {static_cast<std::int64_t>(origin),
+                     static_cast<std::int64_t>(hops + 1)});
+    }
+  } else if (hops == rec.dist && msg.sender < rec.parent) {
+    rec.parent = msg.sender;  // same-round arrivals keep the smallest parent
+  }
+}
+
+}  // namespace khop

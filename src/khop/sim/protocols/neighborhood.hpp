@@ -1,0 +1,41 @@
+/// \file neighborhood.hpp
+/// k-hop neighborhood discovery by bounded flooding: every node announces
+/// itself; announcements are relayed up to k hops. Afterwards each node
+/// knows every node within k hops, with its hop distance and a canonical
+/// (min-id) parent pointer back toward it.
+///
+/// This is the information-gathering primitive underlying all the paper's
+/// "(2k+1)-hop local information" claims; its stats quantify the
+/// communication cost of a k-hop view.
+#pragma once
+
+#include <map>
+
+#include "khop/sim/engine.hpp"
+
+namespace khop {
+
+class NeighborhoodDiscoveryAgent : public NodeAgent {
+ public:
+  /// Discovery record for one known origin.
+  struct Known {
+    Hops dist = kUnreachable;
+    NodeId parent = kInvalidNode;  ///< neighbor one hop closer to the origin
+  };
+
+  explicit NeighborhoodDiscoveryAgent(Hops k) : k_(k) {}
+
+  void on_start(NodeContext& ctx) override;
+  void on_message(NodeContext& ctx, const Message& msg) override;
+
+  /// Map origin -> record, for all origins within k hops (self excluded).
+  const std::map<NodeId, Known>& known() const noexcept { return known_; }
+
+ private:
+  static constexpr std::uint16_t kHello = 1;
+
+  Hops k_;
+  std::map<NodeId, Known> known_;
+};
+
+}  // namespace khop

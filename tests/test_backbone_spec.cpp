@@ -1,0 +1,108 @@
+// Unit tests for the custom backbone-spec API: preset equivalence, the
+// Wu-Lou pipeline, and the LMST keep-rule ablation.
+#include <gtest/gtest.h>
+
+#include "khop/gateway/validate.hpp"
+#include "khop/net/generator.hpp"
+
+namespace khop {
+namespace {
+
+AdHocNetwork make_net(std::uint64_t seed, std::size_t n = 100) {
+  GeneratorConfig cfg;
+  cfg.num_nodes = n;
+  Rng rng(seed);
+  return generate_network(cfg, rng);
+}
+
+TEST(BackboneSpec, PresetSpecsMatchPipelineBuilds) {
+  const AdHocNetwork net = make_net(1501);
+  for (Hops k = 1; k <= 3; ++k) {
+    const Clustering c = khop_clustering(net.graph, k);
+    for (const Pipeline p : kAllPipelines) {
+      const Backbone by_pipeline = build_backbone(net.graph, c, p);
+      const Backbone by_spec = build_backbone(net.graph, c, spec_for(p));
+      EXPECT_EQ(by_pipeline.gateways, by_spec.gateways)
+          << pipeline_name(p) << " k=" << k;
+      EXPECT_EQ(by_pipeline.virtual_links, by_spec.virtual_links);
+    }
+  }
+}
+
+TEST(BackboneSpec, WuLouPipelinesValidAtK1) {
+  const AdHocNetwork net = make_net(1502);
+  const Clustering c = khop_clustering(net.graph, 1);
+  for (const GatewayAlgorithm gw :
+       {GatewayAlgorithm::kMesh, GatewayAlgorithm::kLmst}) {
+    BackboneSpec spec;
+    spec.neighbor_rule = NeighborRule::kWuLou25;
+    spec.gateway = gw;
+    const Backbone b = build_backbone(net.graph, c, spec);
+    EXPECT_TRUE(validate_backbone(net.graph, b).empty());
+  }
+}
+
+TEST(BackboneSpec, WuLouNeverKeepsMoreThanNc) {
+  const AdHocNetwork net = make_net(1503);
+  const Clustering c = khop_clustering(net.graph, 1);
+  BackboneSpec wl;
+  wl.neighbor_rule = NeighborRule::kWuLou25;
+  wl.gateway = GatewayAlgorithm::kMesh;
+  const Backbone wl_b = build_backbone(net.graph, c, wl);
+  const Backbone nc_b = build_backbone(net.graph, c, Pipeline::kNcMesh);
+  EXPECT_LE(wl_b.gateways.size(), nc_b.gateways.size());
+  EXPECT_LE(wl_b.virtual_links.size(), nc_b.virtual_links.size());
+}
+
+TEST(BackboneSpec, IntersectionKeepRuleStillConnected) {
+  const AdHocNetwork net = make_net(1504, 130);
+  for (Hops k = 1; k <= 3; ++k) {
+    const Clustering c = khop_clustering(net.graph, k);
+    for (const NeighborRule rule :
+         {NeighborRule::kAdjacent, NeighborRule::kAllWithin2k1}) {
+      BackboneSpec spec;
+      spec.neighbor_rule = rule;
+      spec.gateway = GatewayAlgorithm::kLmst;
+      spec.lmst_keep = LmstKeepRule::kBothEndpoints;
+      const Backbone b = build_backbone(net.graph, c, spec);
+      EXPECT_TRUE(validate_backbone(net.graph, b).empty())
+          << "k=" << k << " rule=" << static_cast<int>(rule);
+    }
+  }
+}
+
+TEST(BackboneSpec, IntersectionNeverKeepsMoreThanUnion) {
+  const AdHocNetwork net = make_net(1505, 140);
+  for (Hops k = 1; k <= 3; ++k) {
+    const Clustering c = khop_clustering(net.graph, k);
+    BackboneSpec spec;
+    spec.gateway = GatewayAlgorithm::kLmst;
+    spec.lmst_keep = LmstKeepRule::kEitherEndpoint;
+    const Backbone u = build_backbone(net.graph, c, spec);
+    spec.lmst_keep = LmstKeepRule::kBothEndpoints;
+    const Backbone i = build_backbone(net.graph, c, spec);
+    EXPECT_LE(i.virtual_links.size(), u.virtual_links.size()) << "k=" << k;
+    EXPECT_LE(i.gateways.size(), u.gateways.size()) << "k=" << k;
+    // Intersection links are a subset of union links.
+    for (const auto& link : i.virtual_links) {
+      EXPECT_TRUE(std::binary_search(u.virtual_links.begin(),
+                                     u.virtual_links.end(), link));
+    }
+  }
+}
+
+TEST(BackboneSpec, SpecRecordedOnResult) {
+  const AdHocNetwork net = make_net(1506, 60);
+  const Clustering c = khop_clustering(net.graph, 2);
+  BackboneSpec spec;
+  spec.lmst_keep = LmstKeepRule::kBothEndpoints;
+  const Backbone b = build_backbone(net.graph, c, spec);
+  EXPECT_EQ(b.spec.lmst_keep, LmstKeepRule::kBothEndpoints);
+  const Backbone preset = build_backbone(net.graph, c, Pipeline::kNcMesh);
+  EXPECT_EQ(preset.pipeline, Pipeline::kNcMesh);
+  EXPECT_EQ(preset.spec.neighbor_rule, NeighborRule::kAllWithin2k1);
+  EXPECT_EQ(preset.spec.gateway, GatewayAlgorithm::kMesh);
+}
+
+}  // namespace
+}  // namespace khop

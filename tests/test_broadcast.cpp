@@ -1,0 +1,119 @@
+// Unit tests for the broadcast application (blind vs CDS-confined flooding).
+#include <gtest/gtest.h>
+
+#include "khop/cds/broadcast.hpp"
+#include "khop/common/error.hpp"
+#include "khop/net/generator.hpp"
+
+namespace khop {
+namespace {
+
+struct Fixture {
+  AdHocNetwork net;
+  Clustering clustering;
+  Backbone backbone;
+
+  explicit Fixture(std::uint64_t seed, Hops k, std::size_t n = 120) {
+    GeneratorConfig cfg;
+    cfg.num_nodes = n;
+    Rng rng(seed);
+    net = generate_network(cfg, rng);
+    clustering = khop_clustering(net.graph, k);
+    backbone = build_backbone(net.graph, clustering, Pipeline::kAcLmst);
+  }
+};
+
+TEST(Broadcast, BlindFloodReachesEveryoneWithNTransmissions) {
+  const Fixture f(1001, 2);
+  const BroadcastResult r = blind_flood(f.net.graph, 0);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.delivered, f.net.num_nodes());
+  EXPECT_EQ(r.transmissions, f.net.num_nodes());
+}
+
+TEST(Broadcast, CdsFloodDeliversEverywhere) {
+  for (const Hops k : {1u, 2u, 3u}) {
+    const Fixture f(1002 + k, k);
+    for (const CdsFloodModel model :
+         {CdsFloodModel::kBallInterior, CdsFloodModel::kMemberTrees}) {
+      for (const NodeId src : {NodeId{0}, NodeId{5},
+                               static_cast<NodeId>(f.net.num_nodes() - 1)}) {
+        const BroadcastResult r =
+            cds_flood(f.net.graph, f.clustering, f.backbone, src, model);
+        EXPECT_TRUE(r.complete)
+            << "k=" << k << " src=" << src << " model="
+            << static_cast<int>(model);
+        EXPECT_EQ(r.delivered, f.net.num_nodes());
+      }
+    }
+  }
+}
+
+TEST(Broadcast, MemberTreesNeverForwardMoreThanBallInterior) {
+  for (const Hops k : {2u, 3u, 4u}) {
+    const Fixture f(1010 + k, k, 150);
+    const BroadcastResult trees = cds_flood(
+        f.net.graph, f.clustering, f.backbone, 0,
+        CdsFloodModel::kMemberTrees);
+    const BroadcastResult balls = cds_flood(
+        f.net.graph, f.clustering, f.backbone, 0,
+        CdsFloodModel::kBallInterior);
+    EXPECT_LE(trees.transmissions, balls.transmissions) << "k=" << k;
+    EXPECT_TRUE(trees.complete);
+    EXPECT_TRUE(balls.complete);
+  }
+}
+
+TEST(Broadcast, ModelsAgreeAtK1) {
+  const Fixture f(1009, 1);
+  const BroadcastResult a = cds_flood(f.net.graph, f.clustering, f.backbone,
+                                      0, CdsFloodModel::kBallInterior);
+  const BroadcastResult b = cds_flood(f.net.graph, f.clustering, f.backbone,
+                                      0, CdsFloodModel::kMemberTrees);
+  EXPECT_EQ(a.transmissions, b.transmissions);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+TEST(Broadcast, CdsFloodSavesTransmissions) {
+  const Fixture f(1003, 2, 160);
+  const BroadcastResult blind = blind_flood(f.net.graph, 0);
+  const BroadcastResult cds =
+      cds_flood(f.net.graph, f.clustering, f.backbone, 0);
+  EXPECT_LT(cds.transmissions, blind.transmissions);
+}
+
+TEST(Broadcast, K1CdsFloodForwardsOnlyBackbone) {
+  const Fixture f(1004, 1);
+  const BroadcastResult r =
+      cds_flood(f.net.graph, f.clustering, f.backbone, 0);
+  EXPECT_TRUE(r.complete);
+  // Upper bound: backbone nodes + the source itself.
+  EXPECT_LE(r.transmissions, f.backbone.cds_size() + 1);
+}
+
+TEST(Broadcast, SourceCountsAsTransmitterAndReceiver) {
+  const Fixture f(1005, 2);
+  const BroadcastResult r = blind_flood(f.net.graph, 3);
+  EXPECT_GE(r.transmissions, 1u);
+  EXPECT_GE(r.delivered, 1u);
+  EXPECT_GE(r.rounds, 1u);
+}
+
+TEST(Broadcast, RejectsBadSource) {
+  const Fixture f(1006, 1, 50);
+  EXPECT_THROW(blind_flood(f.net.graph, static_cast<NodeId>(9999)),
+               InvalidArgument);
+}
+
+TEST(Broadcast, LatencyBoundedByDiameterPlusDetour) {
+  // CDS flooding may take longer than blind flooding but is still bounded.
+  const Fixture f(1007, 2);
+  const BroadcastResult blind = blind_flood(f.net.graph, 0);
+  const BroadcastResult cds =
+      cds_flood(f.net.graph, f.clustering, f.backbone, 0);
+  EXPECT_GE(cds.rounds, blind.rounds);
+  EXPECT_LE(cds.rounds, blind.rounds * 4 + 4);
+}
+
+}  // namespace
+}  // namespace khop

@@ -1,0 +1,85 @@
+// Unit tests for the k-hop CDS layer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "khop/cds/cds.hpp"
+#include "khop/net/generator.hpp"
+
+namespace khop {
+namespace {
+
+using EdgeList = std::vector<std::pair<NodeId, NodeId>>;
+
+TEST(Cds, ExtractMergesHeadsAndGateways) {
+  const Graph g = Graph::from_edges(
+      7, EdgeList{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}});
+  const Clustering c = khop_clustering(g, 1);
+  const Backbone b = build_backbone(g, c, Pipeline::kAcLmst);
+  const Cds cds = extract_cds(c, b);
+  EXPECT_EQ(cds.k, 1u);
+  EXPECT_EQ(cds.num_heads, 4u);
+  EXPECT_EQ(cds.num_gateways, 3u);
+  EXPECT_EQ(cds.nodes, (std::vector<NodeId>{0, 1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(cds.size(), 7u);
+}
+
+TEST(Cds, ValidatorAcceptsAllPipelines) {
+  Rng rng(901);
+  GeneratorConfig cfg;
+  cfg.num_nodes = 110;
+  const AdHocNetwork net = generate_network(cfg, rng);
+  for (Hops k = 1; k <= 3; ++k) {
+    const Clustering c = khop_clustering(net.graph, k);
+    for (const Pipeline p : kAllPipelines) {
+      const Backbone b = build_backbone(net.graph, c, p);
+      const std::string err = validate_k_cds(net.graph, c, b);
+      EXPECT_TRUE(err.empty())
+          << pipeline_name(p) << " k=" << k << ": " << err;
+    }
+  }
+}
+
+TEST(Cds, ValidatorRejectsUndominatedNode) {
+  // Path graph with heads {0,2,4,6}; remove head 6 from the head list to
+  // leave node 6 more than k hops from the remaining heads... at k=1 node 6
+  // is 2 hops from head 4.
+  const Graph g = Graph::from_edges(
+      7, EdgeList{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}});
+  const Clustering c = khop_clustering(g, 1);
+  Backbone b = build_backbone(g, c, Pipeline::kNcMesh);
+  // NC-Mesh marks 1,3,5 as gateways: dropping head 6 keeps connectivity of
+  // the remaining CDS {0..5} but breaks domination of node 6.
+  b.heads.erase(std::remove(b.heads.begin(), b.heads.end(), NodeId{6}),
+                b.heads.end());
+  b.virtual_links.clear();  // links referencing 6 are no longer valid
+  const std::string err = validate_k_cds(g, c, b);
+  EXPECT_NE(err.find("not k-hop dominated"), std::string::npos) << err;
+}
+
+TEST(Cds, CdsShrinksWithDensity) {
+  // Denser networks need fewer backbone nodes (paper Fig 5 vs Fig 6).
+  Rng rng(902);
+  double sparse_total = 0.0, dense_total = 0.0;
+  for (int rep = 0; rep < 6; ++rep) {
+    GeneratorConfig cfg;
+    cfg.num_nodes = 150;
+    cfg.target_degree = 6.0;
+    AdHocNetwork net = generate_network(cfg, rng);
+    Clustering c = khop_clustering(net.graph, 2);
+    sparse_total += static_cast<double>(
+        build_backbone(net.graph, c, Pipeline::kAcLmst).cds_size());
+
+    cfg.target_degree = 10.0;
+    net = generate_network(cfg, rng);
+    c = khop_clustering(net.graph, 2);
+    dense_total += static_cast<double>(
+        build_backbone(net.graph, c, Pipeline::kAcLmst).cds_size());
+  }
+  EXPECT_LT(dense_total, sparse_total);
+}
+
+}  // namespace
+}  // namespace khop

@@ -1,0 +1,84 @@
+// Unit tests for the k-hop core clustering variant (related-work baseline).
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "khop/cluster/core_variant.hpp"
+#include "khop/cluster/validate.hpp"
+#include "khop/common/error.hpp"
+#include "khop/net/generator.hpp"
+
+namespace khop {
+namespace {
+
+using EdgeList = std::vector<std::pair<NodeId, NodeId>>;
+
+Graph path_graph(std::size_t n) {
+  EdgeList edges;
+  for (NodeId i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return Graph::from_edges(n, edges);
+}
+
+TEST(KhopCore, RunsOneRoundOnly) {
+  const Clustering c = khop_core(path_graph(10), 2);
+  EXPECT_EQ(c.election_rounds, 1u);
+}
+
+TEST(KhopCore, PathGraphDesignations) {
+  // Path 0..5, k=1: each node designates the min id in its closed 1-ball:
+  // 0->0, 1->0, 2->1, 3->2, 4->3, 5->4. Designated = {0,1,2,3,4} all heads.
+  const Clustering c = khop_core(path_graph(6), 1);
+  EXPECT_EQ(c.heads, (std::vector<NodeId>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(c.head_of[5], 4u);
+}
+
+TEST(KhopCore, HeadsCanBeNeighbors) {
+  // Unlike the cluster algorithm, cores may be adjacent (heads 0 and 1 on
+  // the path above are neighbors).
+  const Graph g = path_graph(6);
+  const Clustering c = khop_core(g, 1);
+  bool some_adjacent_heads = false;
+  for (NodeId a : c.heads) {
+    for (NodeId b : c.heads) {
+      if (a < b && g.has_edge(a, b)) some_adjacent_heads = true;
+    }
+  }
+  EXPECT_TRUE(some_adjacent_heads);
+}
+
+TEST(KhopCore, StillKHopDominating) {
+  Rng rng(301);
+  GeneratorConfig cfg;
+  cfg.num_nodes = 100;
+  const AdHocNetwork net = generate_network(cfg, rng);
+  for (Hops k = 1; k <= 3; ++k) {
+    const Clustering c = khop_core(net.graph, k);
+    ClusteringChecks checks;
+    checks.require_khop_independent_heads = false;  // not a core property
+    const std::string err = validate_clustering(net.graph, c, checks);
+    EXPECT_TRUE(err.empty()) << "k=" << k << ": " << err;
+  }
+}
+
+TEST(KhopCore, NeverMoreClustersThanClusterAlgorithmHasMembers) {
+  // Sanity relation: core heads count >= cluster heads count (cores are a
+  // denser dominating structure by construction).
+  Rng rng(302);
+  GeneratorConfig cfg;
+  cfg.num_nodes = 120;
+  const AdHocNetwork net = generate_network(cfg, rng);
+  for (Hops k = 1; k <= 3; ++k) {
+    const Clustering core = khop_core(net.graph, k);
+    const Clustering cluster = khop_clustering(net.graph, k);
+    EXPECT_GE(core.heads.size(), cluster.heads.size()) << "k=" << k;
+  }
+}
+
+TEST(KhopCore, RejectsBadInput) {
+  EXPECT_THROW(khop_core(path_graph(4), 0), InvalidArgument);
+  EXPECT_THROW(khop_core(Graph(3), 1), NotConnected);
+}
+
+}  // namespace
+}  // namespace khop

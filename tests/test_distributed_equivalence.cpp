@@ -1,0 +1,65 @@
+// Parameterized cross-validation sweep: the distributed protocol stack must
+// reproduce the centralized pipeline bit-for-bit across seeds, densities and
+// k - the library's strongest end-to-end correctness statement.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "khop/net/generator.hpp"
+#include "khop/sim/protocols/clustering_protocol.hpp"
+#include "khop/sim/protocols/gateway_protocol.hpp"
+
+namespace khop {
+namespace {
+
+using Param = std::tuple<std::uint64_t /*seed*/, double /*degree*/,
+                         Hops /*k*/>;
+
+class DistributedEquivalence : public ::testing::TestWithParam<Param> {
+ protected:
+  void SetUp() override {
+    const auto [seed, degree, k] = GetParam();
+    GeneratorConfig cfg;
+    cfg.num_nodes = 80;
+    cfg.target_degree = degree;
+    Rng rng(seed);
+    net_ = generate_network(cfg, rng);
+  }
+
+  AdHocNetwork net_;
+};
+
+TEST_P(DistributedEquivalence, FullStackMatchesCentralized) {
+  const auto [seed, degree, k] = GetParam();
+  const auto prio = make_priorities(net_.graph, PriorityRule::kLowestId);
+
+  const Clustering central_c = khop_clustering(net_.graph, k, prio);
+  const Clustering dist_c = run_distributed_clustering(
+      net_.graph, k, prio, AffiliationRule::kIdBased);
+  ASSERT_EQ(dist_c.heads, central_c.heads);
+  ASSERT_EQ(dist_c.head_of, central_c.head_of);
+  ASSERT_EQ(dist_c.dist_to_head, central_c.dist_to_head);
+
+  const Backbone central_b =
+      build_backbone(net_.graph, central_c, Pipeline::kAcLmst);
+  const Backbone dist_b = run_distributed_aclmst(net_.graph, dist_c);
+  EXPECT_EQ(dist_b.gateways, central_b.gateways);
+  EXPECT_EQ(dist_b.virtual_links, central_b.virtual_links);
+}
+
+std::string param_name(const ::testing::TestParamInfo<Param>& pinfo) {
+  const auto [seed, degree, k] = pinfo.param;
+  return "s" + std::to_string(seed) + "_D" +
+         std::to_string(static_cast<int>(degree)) + "_k" + std::to_string(k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DistributedEquivalence,
+    ::testing::Combine(::testing::Values(3001u, 3002u, 3003u, 3004u),
+                       ::testing::Values(6.0, 10.0),
+                       ::testing::Values(1u, 2u, 3u, 4u)),
+    param_name);
+
+}  // namespace
+}  // namespace khop

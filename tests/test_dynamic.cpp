@@ -1,0 +1,152 @@
+// Unit tests for the section-3.3 maintenance policy (node failures).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "khop/cds/cds.hpp"
+#include "khop/cluster/validate.hpp"
+#include "khop/common/error.hpp"
+#include "khop/dynamic/events.hpp"
+#include "khop/net/generator.hpp"
+
+namespace khop {
+namespace {
+
+struct Fixture {
+  AdHocNetwork net;
+  Clustering clustering;
+  Backbone backbone;
+
+  explicit Fixture(std::uint64_t seed, Hops k, std::size_t n = 100) {
+    GeneratorConfig cfg;
+    cfg.num_nodes = n;
+    Rng rng(seed);
+    net = generate_network(cfg, rng);
+    clustering = khop_clustering(net.graph, k);
+    backbone = build_backbone(net.graph, clustering, Pipeline::kAcLmst);
+  }
+
+  NodeId find_node(FailureClass cls) const {
+    for (NodeId v = 0; v < net.num_nodes(); ++v) {
+      if (classify_failure(clustering, backbone, v) == cls) return v;
+    }
+    return kInvalidNode;
+  }
+};
+
+TEST(Classify, RolesMatchBackbone) {
+  const Fixture f(1101, 2);
+  for (NodeId h : f.backbone.heads) {
+    EXPECT_EQ(classify_failure(f.clustering, f.backbone, h),
+              FailureClass::kClusterhead);
+  }
+  for (NodeId g : f.backbone.gateways) {
+    EXPECT_EQ(classify_failure(f.clustering, f.backbone, g),
+              FailureClass::kGateway);
+  }
+}
+
+TEST(Repair, PlainMemberFailureKeepsCds) {
+  const Fixture f(1102, 2);
+  const NodeId victim = f.find_node(FailureClass::kPlainMember);
+  ASSERT_NE(victim, kInvalidNode);
+  const auto rep = handle_node_failure(f.net.graph, f.clustering, f.backbone,
+                                       Pipeline::kAcLmst, victim);
+  if (!rep.remainder_connected) GTEST_SKIP() << "victim was a cut vertex";
+
+  EXPECT_EQ(rep.failure_class, FailureClass::kPlainMember);
+  EXPECT_TRUE(rep.validation_error.empty()) << rep.validation_error;
+  // The CDS is untouched: same heads and gateways modulo renumbering.
+  EXPECT_EQ(rep.backbone.heads.size(), f.backbone.heads.size());
+  EXPECT_EQ(rep.backbone.gateways.size(), f.backbone.gateways.size());
+  EXPECT_EQ(rep.orphaned_members, 0u);
+  EXPECT_EQ(rep.new_heads, 0u);
+}
+
+TEST(Repair, GatewayFailureRebuildsValidBackbone) {
+  const Fixture f(1103, 2);
+  const NodeId victim = f.find_node(FailureClass::kGateway);
+  ASSERT_NE(victim, kInvalidNode);
+  const auto rep = handle_node_failure(f.net.graph, f.clustering, f.backbone,
+                                       Pipeline::kAcLmst, victim);
+  if (!rep.remainder_connected) GTEST_SKIP() << "victim was a cut vertex";
+
+  EXPECT_EQ(rep.failure_class, FailureClass::kGateway);
+  EXPECT_TRUE(rep.validation_error.empty()) << rep.validation_error;
+  // Clustering is preserved: same number of heads, no orphans.
+  EXPECT_EQ(rep.clustering.heads.size(), f.clustering.heads.size());
+  EXPECT_EQ(rep.new_heads, 0u);
+  // At least one head's links used the dead gateway.
+  EXPECT_GE(rep.affected_heads, 1u);
+}
+
+TEST(Repair, ClusterheadFailureReclustersOrphans) {
+  const Fixture f(1104, 2);
+  const NodeId victim = f.find_node(FailureClass::kClusterhead);
+  ASSERT_NE(victim, kInvalidNode);
+  const std::size_t cluster_size =
+      f.clustering
+          .cluster_members(f.clustering.cluster_of[victim])
+          .size();
+  const auto rep = handle_node_failure(f.net.graph, f.clustering, f.backbone,
+                                       Pipeline::kAcLmst, victim);
+  if (!rep.remainder_connected) GTEST_SKIP() << "victim was a cut vertex";
+
+  EXPECT_EQ(rep.failure_class, FailureClass::kClusterhead);
+  EXPECT_TRUE(rep.validation_error.empty()) << rep.validation_error;
+  EXPECT_EQ(rep.orphaned_members, cluster_size - 1);
+  EXPECT_EQ(rep.preserved_heads, f.clustering.heads.size() - 1);
+  // Every orphan found a home: total membership stays exhaustive.
+  for (NodeId v = 0; v < rep.remainder.graph.num_nodes(); ++v) {
+    EXPECT_NE(rep.clustering.head_of[v], kInvalidNode);
+  }
+}
+
+TEST(Repair, RepairedDominationMostlyHolds) {
+  // After a head failure the repair re-dominates every node (orphans join a
+  // surviving head within k or elect new heads).
+  const Fixture f(1105, 2);
+  const NodeId victim = f.find_node(FailureClass::kClusterhead);
+  ASSERT_NE(victim, kInvalidNode);
+  const auto rep = handle_node_failure(f.net.graph, f.clustering, f.backbone,
+                                       Pipeline::kAcLmst, victim);
+  if (!rep.remainder_connected) GTEST_SKIP();
+  for (NodeId v = 0; v < rep.remainder.graph.num_nodes(); ++v) {
+    EXPECT_LE(rep.clustering.dist_to_head[v], rep.clustering.k);
+  }
+}
+
+TEST(Repair, AllFailureClassesAcrossManyNodes) {
+  const Fixture f(1106, 2, 80);
+  std::size_t attempted = 0;
+  for (NodeId v = 0; v < f.net.num_nodes() && attempted < 20; ++v) {
+    const auto rep = handle_node_failure(
+        f.net.graph, f.clustering, f.backbone, Pipeline::kAcLmst, v);
+    if (!rep.remainder_connected) continue;
+    ++attempted;
+    EXPECT_TRUE(rep.validation_error.empty())
+        << "victim " << v << ": " << rep.validation_error;
+  }
+  EXPECT_GE(attempted, 10u);
+}
+
+TEST(Repair, DisconnectingFailureIsReported) {
+  // Path graph: the middle node is a cut vertex.
+  const Graph g = Graph::from_edges(
+      3, std::vector<std::pair<NodeId, NodeId>>{{0, 1}, {1, 2}});
+  const Clustering c = khop_clustering(g, 1);
+  const Backbone b = build_backbone(g, c, Pipeline::kAcLmst);
+  const auto rep = handle_node_failure(g, c, b, Pipeline::kAcLmst, 1);
+  EXPECT_FALSE(rep.remainder_connected);
+}
+
+TEST(Repair, RejectsBadVictim) {
+  const Fixture f(1107, 1, 50);
+  EXPECT_THROW(handle_node_failure(f.net.graph, f.clustering, f.backbone,
+                                   Pipeline::kAcLmst,
+                                   static_cast<NodeId>(9999)),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace khop

@@ -1,0 +1,97 @@
+// Parameterized failure-injection properties: for every (k, pipeline, seed)
+// configuration, killing any node and applying the section-3.3 repair must
+// leave a valid backbone; a follow-up join must also stay valid.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "khop/dynamic/events.hpp"
+#include "khop/net/generator.hpp"
+
+namespace khop {
+namespace {
+
+using Param = std::tuple<Hops, Pipeline, std::uint64_t>;
+
+class FailureProperty : public ::testing::TestWithParam<Param> {
+ protected:
+  void SetUp() override {
+    const auto [k, pipeline, seed] = GetParam();
+    GeneratorConfig cfg;
+    cfg.num_nodes = 90;
+    cfg.target_degree = 8.0;
+    Rng rng(seed);
+    net_ = generate_network(cfg, rng);
+    clustering_ = khop_clustering(net_.graph, k);
+    backbone_ = build_backbone(net_.graph, clustering_, pipeline);
+  }
+
+  AdHocNetwork net_;
+  Clustering clustering_;
+  Backbone backbone_;
+};
+
+TEST_P(FailureProperty, EveryRepairableFailureValidates) {
+  const auto [k, pipeline, seed] = GetParam();
+  Rng rng(seed ^ 0xfa11);
+  std::size_t repaired = 0;
+  for (int attempt = 0; attempt < 24 && repaired < 12; ++attempt) {
+    const auto victim =
+        static_cast<NodeId>(rng.uniform_int(net_.num_nodes()));
+    const auto rep = handle_node_failure(net_.graph, clustering_, backbone_,
+                                         pipeline, victim);
+    if (!rep.remainder_connected) continue;
+    ++repaired;
+    EXPECT_TRUE(rep.validation_error.empty())
+        << "victim " << victim << ": " << rep.validation_error;
+    // Membership stays total and heads stay heads-of-themselves.
+    for (NodeId v = 0; v < rep.remainder.graph.num_nodes(); ++v) {
+      EXPECT_NE(rep.clustering.head_of[v], kInvalidNode);
+    }
+    for (NodeId h : rep.clustering.heads) {
+      EXPECT_EQ(rep.clustering.head_of[h], h);
+    }
+  }
+  EXPECT_GE(repaired, 8u);
+}
+
+TEST_P(FailureProperty, FailureThenJoinStaysValid) {
+  const auto [k, pipeline, seed] = GetParam();
+  Rng rng(seed ^ 0x7015);
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    const auto victim =
+        static_cast<NodeId>(rng.uniform_int(net_.num_nodes()));
+    const auto rep = handle_node_failure(net_.graph, clustering_, backbone_,
+                                         pipeline, victim);
+    if (!rep.remainder_connected) continue;
+    const auto anchor = static_cast<NodeId>(
+        rng.uniform_int(rep.remainder.graph.num_nodes()));
+    const auto join = handle_node_join(rep.remainder.graph, rep.clustering,
+                                       rep.backbone, pipeline, {anchor});
+    EXPECT_TRUE(join.validation_error.empty()) << join.validation_error;
+    return;  // one full failure->join cycle per configuration suffices
+  }
+}
+
+std::string param_name(const ::testing::TestParamInfo<Param>& pinfo) {
+  const auto [k, pipeline, seed] = pinfo.param;
+  std::string name = "k" + std::to_string(k) + "_" +
+                     std::string(pipeline_name(pipeline)) + "_s" +
+                     std::to_string(seed);
+  for (char& ch : name) {
+    if (ch == '-') ch = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FailureProperty,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u),
+                       ::testing::Values(Pipeline::kNcMesh,
+                                         Pipeline::kAcLmst, Pipeline::kGmst),
+                       ::testing::Values(41u, 42u)),
+    param_name);
+
+}  // namespace
+}  // namespace khop

@@ -1,0 +1,116 @@
+// Unit tests for geometry, placement, and degree calibration.
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "khop/common/error.hpp"
+#include "khop/geom/degree_calibration.hpp"
+#include "khop/geom/placement.hpp"
+#include "khop/geom/point.hpp"
+
+namespace khop {
+namespace {
+
+TEST(Point, DistanceMatchesPythagoras) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance_sq({1, 1}, {4, 5}), 25.0);
+}
+
+TEST(Field, ContainsRespectsBounds) {
+  const Field f{100.0};
+  EXPECT_TRUE(f.contains({0, 0}));
+  EXPECT_TRUE(f.contains({100, 100}));
+  EXPECT_FALSE(f.contains({100.01, 50}));
+  EXPECT_FALSE(f.contains({-0.01, 50}));
+  EXPECT_DOUBLE_EQ(f.area(), 10000.0);
+}
+
+TEST(Placement, UniformStaysInField) {
+  Rng rng(3);
+  const Field f{100.0};
+  const auto pts = place_uniform(500, f, rng);
+  ASSERT_EQ(pts.size(), 500u);
+  for (const auto& p : pts) EXPECT_TRUE(f.contains(p));
+}
+
+TEST(Placement, UniformIsDeterministic) {
+  const Field f{100.0};
+  Rng a(9), b(9);
+  EXPECT_EQ(place_uniform(50, f, a), place_uniform(50, f, b));
+}
+
+TEST(Placement, UniformCoversAllQuadrants) {
+  Rng rng(5);
+  const Field f{100.0};
+  const auto pts = place_uniform(400, f, rng);
+  int quad[4] = {0, 0, 0, 0};
+  for (const auto& p : pts) {
+    quad[(p.x >= 50.0 ? 1 : 0) + (p.y >= 50.0 ? 2 : 0)]++;
+  }
+  for (int q = 0; q < 4; ++q) EXPECT_GT(quad[q], 50) << "quadrant " << q;
+}
+
+TEST(Placement, JitteredGridStaysInField) {
+  Rng rng(4);
+  const Field f{100.0};
+  const auto pts = place_jittered_grid(37, f, rng);
+  ASSERT_EQ(pts.size(), 37u);
+  for (const auto& p : pts) EXPECT_TRUE(f.contains(p));
+}
+
+TEST(Placement, RejectsZeroNodes) {
+  Rng rng(1);
+  EXPECT_THROW(place_uniform(0, Field{}, rng), InvalidArgument);
+}
+
+TEST(Calibration, AnalyticRadiusMatchesFormula) {
+  const Field f{100.0};
+  const double r = analytic_radius(100, 6.0, f);
+  EXPECT_NEAR(r, std::sqrt(6.0 * 10000.0 / (std::numbers::pi * 99.0)), 1e-12);
+}
+
+TEST(Calibration, AnalyticRadiusRejectsBadInput) {
+  EXPECT_THROW(analytic_radius(1, 6.0, Field{}), InvalidArgument);
+  EXPECT_THROW(analytic_radius(10, 0.0, Field{}), InvalidArgument);
+}
+
+TEST(Calibration, MeasuredMeanDegreeOnKnownLayout) {
+  // Three collinear points 1 apart: radius 1.5 links the two adjacent pairs.
+  const std::vector<Point2> pts{{0, 0}, {1, 0}, {2, 0}};
+  EXPECT_DOUBLE_EQ(measured_mean_degree(pts, 1.5), 4.0 / 3.0);
+  EXPECT_DOUBLE_EQ(measured_mean_degree(pts, 2.5), 2.0);
+}
+
+TEST(Calibration, CalibratedRadiusHitsTargetDegree) {
+  const Field f{100.0};
+  const std::size_t n = 100;
+  const double target = 6.0;
+  const double r = calibrate_radius(n, target, f, Rng(1234));
+
+  // Border effects mean the calibrated radius must exceed the analytic one.
+  EXPECT_GT(r, analytic_radius(n, target, f));
+
+  // Validate on fresh placements.
+  Rng rng(777);
+  double total = 0.0;
+  const int reps = 40;
+  for (int i = 0; i < reps; ++i) {
+    Rng child = rng.spawn(static_cast<std::uint64_t>(i));
+    total += measured_mean_degree(place_uniform(n, f, child), r);
+  }
+  EXPECT_NEAR(total / reps, target, 0.35);
+}
+
+TEST(Calibration, CalibrationIsDeterministic) {
+  const Field f{100.0};
+  EXPECT_DOUBLE_EQ(calibrate_radius(80, 10.0, f, Rng(5)),
+                   calibrate_radius(80, 10.0, f, Rng(5)));
+}
+
+TEST(Calibration, RejectsInfeasibleTargets) {
+  EXPECT_THROW(calibrate_radius(10, 9.5, Field{}, Rng(1)), InvalidArgument);
+  EXPECT_THROW(calibrate_radius(10, 0.0, Field{}, Rng(1)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace khop

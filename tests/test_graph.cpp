@@ -1,0 +1,144 @@
+// Unit tests for the CSR graph and unit-disk construction.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "khop/common/error.hpp"
+#include "khop/common/rng.hpp"
+#include "khop/graph/graph.hpp"
+#include "khop/graph/metrics.hpp"
+#include "khop/graph/spatial_grid.hpp"
+#include "khop/graph/subgraph.hpp"
+
+namespace khop {
+namespace {
+
+using EdgeList = std::vector<std::pair<NodeId, NodeId>>;
+
+Graph path_graph(std::size_t n) {
+  EdgeList edges;
+  for (NodeId i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return Graph::from_edges(n, edges);
+}
+
+TEST(Graph, EmptyGraphHasNoEdges) {
+  Graph g(5);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.neighbors(0).empty());
+}
+
+TEST(Graph, FromEdgesBuildsSortedAdjacency) {
+  const EdgeList edges{{3, 1}, {0, 3}, {2, 3}};
+  const Graph g = Graph::from_edges(4, edges);
+  EXPECT_EQ(g.num_edges(), 3u);
+  const auto nbrs = g.neighbors(3);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 0u);
+  EXPECT_EQ(nbrs[1], 1u);
+  EXPECT_EQ(nbrs[2], 2u);
+}
+
+TEST(Graph, HasEdgeIsSymmetric) {
+  const Graph g = Graph::from_edges(3, EdgeList{{0, 1}});
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  EXPECT_THROW(Graph::from_edges(3, EdgeList{{1, 1}}), InvalidArgument);
+}
+
+TEST(Graph, RejectsDuplicateEdge) {
+  EXPECT_THROW(Graph::from_edges(3, EdgeList{{0, 1}, {1, 0}}),
+               InvalidArgument);
+}
+
+TEST(Graph, RejectsOutOfRangeEndpoint) {
+  EXPECT_THROW(Graph::from_edges(2, EdgeList{{0, 5}}), InvalidArgument);
+}
+
+TEST(Graph, RejectsOutOfRangeQueries) {
+  const Graph g = path_graph(3);
+  EXPECT_THROW((void)g.neighbors(3), InvalidArgument);
+  EXPECT_THROW((void)g.degree(9), InvalidArgument);
+}
+
+TEST(Graph, EdgeListRoundTrips) {
+  const EdgeList edges{{0, 1}, {1, 2}, {0, 3}};
+  const Graph g = Graph::from_edges(4, edges);
+  const auto out = g.edge_list();
+  EXPECT_EQ(out, (EdgeList{{0, 1}, {0, 3}, {1, 2}}));
+}
+
+TEST(Graph, WithoutNodeIsolatesIt) {
+  const Graph g = path_graph(4);  // 0-1-2-3
+  const Graph h = g.without_node(1);
+  EXPECT_EQ(h.num_nodes(), 4u);
+  EXPECT_EQ(h.degree(1), 0u);
+  EXPECT_TRUE(h.has_edge(2, 3));
+  EXPECT_FALSE(h.has_edge(0, 1));
+}
+
+TEST(DegreeStats, PathGraph) {
+  const auto s = degree_stats(path_graph(4));
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 2u);
+  EXPECT_DOUBLE_EQ(s.mean, 6.0 / 4.0);
+}
+
+TEST(UnitDisk, PairWithinRadiusIsConnected) {
+  const std::vector<Point2> pts{{0, 0}, {3, 4}, {10, 10}};
+  const Graph g = build_unit_disk_graph(pts, 5.0);
+  EXPECT_TRUE(g.has_edge(0, 1));    // distance exactly 5
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(1, 2));
+}
+
+TEST(UnitDisk, MatchesBruteForce) {
+  Rng rng(77);
+  std::vector<Point2> pts;
+  for (int i = 0; i < 120; ++i) {
+    pts.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+  }
+  const double r = 14.0;
+  const Graph g = build_unit_disk_graph(pts, r);
+  for (NodeId u = 0; u < pts.size(); ++u) {
+    for (NodeId v = 0; v < pts.size(); ++v) {
+      if (u == v) continue;
+      EXPECT_EQ(g.has_edge(u, v), distance_sq(pts[u], pts[v]) <= r * r)
+          << "pair " << u << "," << v;
+    }
+  }
+}
+
+TEST(SpatialGrid, WithinRadiusSortedAndExcludesSelf) {
+  const std::vector<Point2> pts{{0, 0}, {1, 0}, {2, 0}, {0.5, 0.5}};
+  const SpatialGrid grid(pts, 1.2);
+  const auto near0 = grid.within_radius(0);
+  ASSERT_EQ(near0.size(), 2u);
+  EXPECT_EQ(near0[0], 1u);
+  EXPECT_EQ(near0[1], 3u);
+}
+
+TEST(InducedSubgraph, KeepsInternalEdgesOnly) {
+  const Graph g = Graph::from_edges(
+      5, EdgeList{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {1, 3}});
+  const auto sub = induced_subgraph(g, {1, 2, 3});
+  EXPECT_EQ(sub.graph.num_nodes(), 3u);
+  EXPECT_EQ(sub.graph.num_edges(), 3u);  // (1,2),(2,3),(1,3)
+  EXPECT_EQ(sub.original_ids, (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(sub.new_id[0], kInvalidNode);
+  EXPECT_EQ(sub.new_id[2], 1u);
+}
+
+TEST(InducedSubgraph, RequiresSortedUniqueInput) {
+  const Graph g = path_graph(4);
+  EXPECT_THROW(induced_subgraph(g, {2, 1}), InvalidArgument);
+  EXPECT_THROW(induced_subgraph(g, {1, 1}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace khop

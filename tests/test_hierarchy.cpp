@@ -1,0 +1,97 @@
+// Unit tests for recursive high-level clustering.
+#include <gtest/gtest.h>
+
+#include "khop/common/error.hpp"
+#include "khop/graph/components.hpp"
+#include "khop/nbr/hierarchy.hpp"
+#include "khop/net/generator.hpp"
+
+namespace khop {
+namespace {
+
+AdHocNetwork make_net(std::uint64_t seed, std::size_t n = 150) {
+  GeneratorConfig cfg;
+  cfg.num_nodes = n;
+  Rng rng(seed);
+  return generate_network(cfg, rng);
+}
+
+TEST(Hierarchy, LevelsShrinkMonotonically) {
+  const AdHocNetwork net = make_net(1901);
+  const ClusterHierarchy h = build_hierarchy(net.graph, 1, 5);
+  ASSERT_GE(h.depth(), 2u);
+  for (std::size_t l = 1; l < h.depth(); ++l) {
+    EXPECT_LT(h.levels[l].clustering.heads.size(),
+              h.levels[l - 1].clustering.heads.size())
+        << "level " << l;
+  }
+}
+
+TEST(Hierarchy, StopsAtSingleHead) {
+  const AdHocNetwork net = make_net(1902, 100);
+  const ClusterHierarchy h = build_hierarchy(net.graph, 2, 10);
+  // Either the budget was exhausted or the top level has exactly one head.
+  if (h.depth() < 10) {
+    EXPECT_EQ(h.levels.back().clustering.heads.size(), 1u);
+  }
+}
+
+TEST(Hierarchy, PhysicalHeadsAreLevelZeroNodes) {
+  const AdHocNetwork net = make_net(1903, 120);
+  const ClusterHierarchy h = build_hierarchy(net.graph, 1, 4);
+  for (std::size_t l = 0; l < h.depth(); ++l) {
+    EXPECT_EQ(h.levels[l].physical_heads.size(),
+              h.levels[l].clustering.heads.size());
+    for (NodeId pid : h.levels[l].physical_heads) {
+      EXPECT_LT(pid, net.num_nodes());
+    }
+    // Every level-l physical head must be a level-(l-1) physical head too.
+    if (l > 0) {
+      for (NodeId pid : h.levels[l].physical_heads) {
+        EXPECT_TRUE(std::binary_search(h.levels[l - 1].physical_heads.begin(),
+                                       h.levels[l - 1].physical_heads.end(),
+                                       pid))
+            << "level " << l << " head " << pid;
+      }
+    }
+  }
+}
+
+TEST(Hierarchy, HeadAtLevelChainsMembership) {
+  const AdHocNetwork net = make_net(1904, 100);
+  const ClusterHierarchy h = build_hierarchy(net.graph, 1, 3);
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    // Level 0: the node's own clusterhead.
+    EXPECT_EQ(h.head_at_level(v, 0), h.levels[0].clustering.head_of[v]);
+    // Every level's responsible head is one of that level's heads.
+    for (std::size_t l = 0; l < h.depth(); ++l) {
+      const NodeId head = h.head_at_level(v, l);
+      EXPECT_TRUE(std::binary_search(h.levels[l].physical_heads.begin(),
+                                     h.levels[l].physical_heads.end(), head))
+          << "v=" << v << " level=" << l;
+    }
+  }
+}
+
+TEST(Hierarchy, LevelGraphsAreConnected) {
+  const AdHocNetwork net = make_net(1905, 130);
+  const ClusterHierarchy h = build_hierarchy(net.graph, 1, 5);
+  for (std::size_t l = 0; l < h.depth(); ++l) {
+    EXPECT_TRUE(is_connected(h.levels[l].graph)) << "level " << l;
+  }
+}
+
+TEST(Hierarchy, SingleLevelWhenRequested) {
+  const AdHocNetwork net = make_net(1906, 60);
+  const ClusterHierarchy h = build_hierarchy(net.graph, 2, 1);
+  EXPECT_EQ(h.depth(), 1u);
+}
+
+TEST(Hierarchy, RejectsBadArguments) {
+  const AdHocNetwork net = make_net(1907, 40);
+  EXPECT_THROW(build_hierarchy(net.graph, 1, 0), InvalidArgument);
+  EXPECT_THROW(build_hierarchy(net.graph, 0, 2), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace khop

@@ -1,0 +1,145 @@
+// Unit tests for the interchange formats (DOT / layout / network).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "khop/common/error.hpp"
+#include "khop/cds/cds.hpp"
+#include "khop/io/export.hpp"
+#include "khop/io/state.hpp"
+#include "khop/net/generator.hpp"
+
+namespace khop {
+namespace {
+
+struct Fixture {
+  AdHocNetwork net;
+  Clustering clustering;
+  Backbone backbone;
+
+  explicit Fixture(std::uint64_t seed, std::size_t n = 60) {
+    GeneratorConfig cfg;
+    cfg.num_nodes = n;
+    Rng rng(seed);
+    net = generate_network(cfg, rng);
+    clustering = khop_clustering(net.graph, 2);
+    backbone = build_backbone(net.graph, clustering, Pipeline::kAcLmst);
+  }
+};
+
+TEST(IoDot, ContainsAllNodesAndEdges) {
+  const Fixture f(1601);
+  std::ostringstream os;
+  write_dot(os, f.net, f.clustering, f.backbone);
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("graph khop {"), std::string::npos);
+  for (NodeId v = 0; v < f.net.num_nodes(); ++v) {
+    EXPECT_NE(dot.find("n" + std::to_string(v) + " [pos="),
+              std::string::npos)
+        << v;
+  }
+  // Every head renders as a doublecircle; count them.
+  std::size_t count = 0;
+  for (std::size_t pos = dot.find("doublecircle"); pos != std::string::npos;
+       pos = dot.find("doublecircle", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, f.backbone.heads.size());
+}
+
+TEST(IoLayout, OneLinePerNode) {
+  const Fixture f(1602);
+  std::ostringstream os;
+  write_layout(os, f.net, f.clustering, f.backbone);
+  std::istringstream is(os.str());
+  std::string line;
+  std::getline(is, line);  // header comment
+  EXPECT_EQ(line.front(), '#');
+  std::size_t rows = 0;
+  while (std::getline(is, line)) {
+    if (!line.empty()) ++rows;
+  }
+  EXPECT_EQ(rows, f.net.num_nodes());
+}
+
+TEST(IoNetwork, RoundTripPreservesTopology) {
+  const Fixture f(1603);
+  std::ostringstream os;
+  write_network(os, f.net);
+  std::istringstream is(os.str());
+  const AdHocNetwork copy = read_network(is);
+  EXPECT_EQ(copy.num_nodes(), f.net.num_nodes());
+  EXPECT_DOUBLE_EQ(copy.radius, f.net.radius);
+  EXPECT_EQ(copy.graph.edge_list(), f.net.graph.edge_list());
+  // And the whole pipeline produces identical results on the copy.
+  const Clustering c2 = khop_clustering(copy.graph, 2);
+  EXPECT_EQ(c2.heads, f.clustering.heads);
+}
+
+TEST(IoState, ClusteringRoundTrip) {
+  const Fixture f(1604);
+  std::ostringstream os;
+  write_clustering(os, f.clustering);
+  std::istringstream is(os.str());
+  const Clustering copy = read_clustering(is);
+  EXPECT_EQ(copy.k, f.clustering.k);
+  EXPECT_EQ(copy.heads, f.clustering.heads);
+  EXPECT_EQ(copy.head_of, f.clustering.head_of);
+  EXPECT_EQ(copy.dist_to_head, f.clustering.dist_to_head);
+  EXPECT_EQ(copy.cluster_of, f.clustering.cluster_of);
+  EXPECT_EQ(copy.election_rounds, f.clustering.election_rounds);
+}
+
+TEST(IoState, BackboneRoundTrip) {
+  const Fixture f(1605);
+  std::ostringstream os;
+  write_backbone(os, f.backbone);
+  std::istringstream is(os.str());
+  const Backbone copy = read_backbone(is);
+  EXPECT_EQ(copy.pipeline, f.backbone.pipeline);
+  EXPECT_EQ(copy.heads, f.backbone.heads);
+  EXPECT_EQ(copy.gateways, f.backbone.gateways);
+  EXPECT_EQ(copy.virtual_links, f.backbone.virtual_links);
+  EXPECT_EQ(copy.spec.neighbor_rule, f.backbone.spec.neighbor_rule);
+  EXPECT_EQ(copy.spec.gateway, f.backbone.spec.gateway);
+}
+
+TEST(IoState, RestoredStateStillValidates) {
+  const Fixture f(1606);
+  std::ostringstream cs, bs;
+  write_clustering(cs, f.clustering);
+  write_backbone(bs, f.backbone);
+  std::istringstream cis(cs.str()), bis(bs.str());
+  const Clustering c = read_clustering(cis);
+  const Backbone b = read_backbone(bis);
+  EXPECT_TRUE(validate_k_cds(f.net.graph, c, b).empty());
+}
+
+TEST(IoState, RejectsMalformedState) {
+  std::istringstream wrong_tag("not-a-clustering v1");
+  EXPECT_THROW(read_clustering(wrong_tag), InvalidArgument);
+  std::istringstream bad_k("khop-clustering v1\nk 0\n");
+  EXPECT_THROW(read_clustering(bad_k), InvalidArgument);
+  std::istringstream truncated(
+      "khop-clustering v1\nk 2\nrounds 1\nnodes 3\nheads 1 0\n0 0\n");
+  EXPECT_THROW(read_clustering(truncated), InvalidArgument);
+  std::istringstream nonhead(
+      "khop-clustering v1\nk 2\nrounds 1\nnodes 2\nheads 1 0\n0 0\n1 5\n");
+  EXPECT_THROW(read_clustering(nonhead), InvalidArgument);
+  std::istringstream bad_backbone("khop-backbone v1\npipeline 9\n");
+  EXPECT_THROW(read_backbone(bad_backbone), InvalidArgument);
+}
+
+TEST(IoNetwork, RejectsMalformedInput) {
+  std::istringstream empty("");
+  EXPECT_THROW(read_network(empty), InvalidArgument);
+  std::istringstream bad_header("abc def ghi");
+  EXPECT_THROW(read_network(bad_header), InvalidArgument);
+  std::istringstream truncated("5 10.0 100.0\n1.0 2.0\n");
+  EXPECT_THROW(read_network(truncated), InvalidArgument);
+  std::istringstream zero_radius("2 0.0 100.0\n1 1\n2 2\n");
+  EXPECT_THROW(read_network(zero_radius), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace khop

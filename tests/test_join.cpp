@@ -1,0 +1,158 @@
+// Unit tests for node switch-on maintenance (section 3.3's join case).
+#include <gtest/gtest.h>
+
+#include "khop/cds/cds.hpp"
+#include "khop/common/error.hpp"
+#include "khop/dynamic/events.hpp"
+#include "khop/graph/bfs.hpp"
+#include "khop/net/generator.hpp"
+
+namespace khop {
+namespace {
+
+struct Fixture {
+  AdHocNetwork net;
+  Clustering clustering;
+  Backbone backbone;
+
+  explicit Fixture(std::uint64_t seed, Hops k, std::size_t n = 90) {
+    GeneratorConfig cfg;
+    cfg.num_nodes = n;
+    Rng rng(seed);
+    net = generate_network(cfg, rng);
+    clustering = khop_clustering(net.graph, k);
+    backbone = build_backbone(net.graph, clustering, Pipeline::kAcLmst);
+  }
+};
+
+TEST(Join, MemberJoinAdoptsNearestHead) {
+  const Fixture f(1401, 2);
+  // Attach directly to a clusterhead: the newcomer is 1 hop from it.
+  const NodeId head = f.clustering.heads.front();
+  const auto rep = handle_node_join(f.net.graph, f.clustering, f.backbone,
+                                    Pipeline::kAcLmst, {head});
+  EXPECT_EQ(rep.outcome, JoinOutcome::kJoinedExistingCluster);
+  EXPECT_EQ(rep.clustering.head_of[rep.new_node], head);
+  EXPECT_EQ(rep.clustering.dist_to_head[rep.new_node], 1u);
+  EXPECT_TRUE(rep.validation_error.empty()) << rep.validation_error;
+}
+
+TEST(Join, GrownGraphHasNewNodeEdges) {
+  const Fixture f(1402, 2);
+  const NodeId a = 0, b = 1;
+  const auto rep = handle_node_join(f.net.graph, f.clustering, f.backbone,
+                                    Pipeline::kAcLmst, {a, b});
+  EXPECT_EQ(rep.graph.num_nodes(), f.net.num_nodes() + 1);
+  EXPECT_TRUE(rep.graph.has_edge(rep.new_node, a));
+  EXPECT_TRUE(rep.graph.has_edge(rep.new_node, b));
+}
+
+TEST(Join, HeadOnlyWhenBeyondK) {
+  // Build a chain hanging off the network so the newcomer is k+1 hops from
+  // every head: it must become a head itself. Easier on a path graph.
+  const Graph g = Graph::from_edges(
+      4, std::vector<std::pair<NodeId, NodeId>>{{0, 1}, {1, 2}, {2, 3}});
+  const Clustering c = khop_clustering(g, 1);  // heads {0,2}
+  const Backbone b = build_backbone(g, c, Pipeline::kAcLmst);
+  // Newcomer attaches to node 3 only: dist to head 2 is 2 > k = 1.
+  const auto rep = handle_node_join(g, c, b, Pipeline::kAcLmst, {3});
+  EXPECT_EQ(rep.outcome, JoinOutcome::kBecameClusterhead);
+  EXPECT_TRUE(rep.clustering.is_head(rep.new_node));
+  EXPECT_TRUE(rep.validation_error.empty()) << rep.validation_error;
+  // New head => phase 2 re-ran and the head is in the backbone.
+  EXPECT_TRUE(std::binary_search(rep.backbone.heads.begin(),
+                                 rep.backbone.heads.end(), rep.new_node));
+}
+
+TEST(Join, PreservesIndependentSetInvariant) {
+  const Fixture f(1403, 2);
+  for (const NodeId anchor : {NodeId{0}, NodeId{5}, NodeId{10}}) {
+    const auto rep = handle_node_join(f.net.graph, f.clustering, f.backbone,
+                                      Pipeline::kAcLmst, {anchor});
+    // Whatever the outcome, heads stay a k-hop independent set.
+    const auto d = all_pairs_hops(rep.graph);
+    for (std::size_t i = 0; i < rep.clustering.heads.size(); ++i) {
+      for (std::size_t j = i + 1; j < rep.clustering.heads.size(); ++j) {
+        EXPECT_GT(d[rep.clustering.heads[i]][rep.clustering.heads[j]],
+                  rep.clustering.k);
+      }
+    }
+  }
+}
+
+TEST(Join, MemberJoinWithoutNewAdjacencyKeepsBackbone) {
+  const Fixture f(1404, 2);
+  // Attach to a head and its 1-hop neighbors: all edges stay inside that
+  // cluster, so no new cluster adjacency appears and the CDS is reused.
+  const NodeId head = f.clustering.heads.front();
+  std::vector<NodeId> anchors{head};
+  for (NodeId nb : f.net.graph.neighbors(head)) {
+    if (f.clustering.head_of[nb] == head) {
+      anchors.push_back(nb);
+      break;
+    }
+  }
+  const auto rep = handle_node_join(f.net.graph, f.clustering, f.backbone,
+                                    Pipeline::kAcLmst, anchors);
+  if (rep.outcome == JoinOutcome::kJoinedExistingCluster &&
+      !rep.adjacency_changed) {
+    EXPECT_EQ(rep.backbone.gateways, f.backbone.gateways);
+  }
+  EXPECT_TRUE(rep.validation_error.empty());
+}
+
+TEST(Join, BridgingJoinTriggersPhase2) {
+  // Place the newcomer between two different clusters: adjacency changes
+  // and phase 2 must re-run.
+  const Fixture f(1405, 2);
+  NodeId a = kInvalidNode, b = kInvalidNode;
+  // Find two nodes of different clusters that are NOT adjacent clusters yet
+  // is hard to guarantee; instead just verify the report is self-consistent
+  // for a cross-cluster join.
+  for (NodeId u = 0; u < f.net.num_nodes() && a == kInvalidNode; ++u) {
+    for (NodeId v = 0; v < f.net.num_nodes(); ++v) {
+      if (f.clustering.cluster_of[u] != f.clustering.cluster_of[v]) {
+        a = u;
+        b = v;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(a, kInvalidNode);
+  const auto rep = handle_node_join(f.net.graph, f.clustering, f.backbone,
+                                    Pipeline::kAcLmst, {a, b});
+  EXPECT_TRUE(rep.validation_error.empty()) << rep.validation_error;
+}
+
+TEST(Join, RejectsBadInput) {
+  const Fixture f(1406, 1, 50);
+  EXPECT_THROW(handle_node_join(f.net.graph, f.clustering, f.backbone,
+                                Pipeline::kAcLmst, {}),
+               InvalidArgument);
+  EXPECT_THROW(handle_node_join(f.net.graph, f.clustering, f.backbone,
+                                Pipeline::kAcLmst,
+                                {static_cast<NodeId>(9999)}),
+               InvalidArgument);
+}
+
+TEST(Join, SequenceOfJoinsStaysValid) {
+  Fixture f(1407, 2, 60);
+  Graph graph = f.net.graph;
+  Clustering clustering = f.clustering;
+  Backbone backbone = f.backbone;
+  Rng rng(8);
+  for (int i = 0; i < 10; ++i) {
+    const auto anchor =
+        static_cast<NodeId>(rng.uniform_int(graph.num_nodes()));
+    const auto rep = handle_node_join(graph, clustering, backbone,
+                                      Pipeline::kAcLmst, {anchor});
+    EXPECT_TRUE(rep.validation_error.empty()) << "join " << i;
+    graph = rep.graph;
+    clustering = rep.clustering;
+    backbone = rep.backbone;
+  }
+  EXPECT_EQ(graph.num_nodes(), 70u);
+}
+
+}  // namespace
+}  // namespace khop

@@ -1,0 +1,105 @@
+// Unit tests for the Krishna-style overlapping k-cluster cover (the
+// related-work definition the paper contrasts against).
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "khop/cluster/clustering.hpp"
+#include "khop/cluster/kcluster.hpp"
+#include "khop/common/error.hpp"
+#include "khop/net/generator.hpp"
+
+namespace khop {
+namespace {
+
+using EdgeList = std::vector<std::pair<NodeId, NodeId>>;
+
+Graph path_graph(std::size_t n) {
+  EdgeList edges;
+  for (NodeId i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return Graph::from_edges(n, edges);
+}
+
+TEST(KCluster, PathGraphK1GivesEdgeClusters) {
+  // Path 0-1-2-3: greedy from 0 -> {0,1}; seed 2 -> {1,2,3}? No: members of
+  // {2}'s cluster need pairwise distance <= 1: {1,2} then 3 fails against 1,
+  // so {1,2}; 3 uncovered seeds {2,3}... seed order: 0 covered? Walk it:
+  //   seed 0: {0,1}; seed 2 (uncovered): candidates in ball {1,2,3}:
+  //     1 fits (d(1,2)=1), 3 fits? d(3,1)=2 > 1 -> no. cluster {1,2}.
+  //   seed 3: ball {2,3}: 2 fits. cluster {2,3}.
+  const auto cover = krishna_kclusters(path_graph(4), 1);
+  ASSERT_EQ(cover.clusters.size(), 3u);
+  EXPECT_EQ(cover.clusters[0], (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(cover.clusters[1], (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(cover.clusters[2], (std::vector<NodeId>{2, 3}));
+  EXPECT_TRUE(validate_kcluster_cover(path_graph(4), cover).empty());
+}
+
+TEST(KCluster, ClustersOverlap) {
+  const auto cover = krishna_kclusters(path_graph(4), 1);
+  // Node 1 belongs to two clusters - the defining difference from the
+  // paper's non-overlapping head-centric clustering.
+  EXPECT_EQ(cover.clusters_of[1].size(), 2u);
+}
+
+TEST(KCluster, WholeGraphWhenKIsDiameter) {
+  const Graph g = path_graph(5);
+  const auto cover = krishna_kclusters(g, 4);
+  ASSERT_EQ(cover.clusters.size(), 1u);
+  EXPECT_EQ(cover.clusters[0].size(), 5u);
+}
+
+TEST(KCluster, PairwisePropertyOnRandomNetworks) {
+  Rng rng(1801);
+  GeneratorConfig cfg;
+  cfg.num_nodes = 80;
+  const AdHocNetwork net = generate_network(cfg, rng);
+  for (const Hops k : {1u, 2u, 3u}) {
+    const auto cover = krishna_kclusters(net.graph, k);
+    const std::string err = validate_kcluster_cover(net.graph, cover);
+    EXPECT_TRUE(err.empty()) << "k=" << k << ": " << err;
+  }
+}
+
+TEST(KCluster, EveryNodeCovered) {
+  Rng rng(1802);
+  GeneratorConfig cfg;
+  cfg.num_nodes = 100;
+  const AdHocNetwork net = generate_network(cfg, rng);
+  const auto cover = krishna_kclusters(net.graph, 2);
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    EXPECT_FALSE(cover.clusters_of[v].empty()) << v;
+  }
+}
+
+TEST(KCluster, MoreClustersThanHeadCentricClustering) {
+  // Pairwise-k clusters have radius ~k/2, so covering the graph needs more
+  // of them than the paper's head-centric clusters (radius k).
+  Rng rng(1803);
+  GeneratorConfig cfg;
+  cfg.num_nodes = 120;
+  const AdHocNetwork net = generate_network(cfg, rng);
+  for (const Hops k : {2u, 3u}) {
+    const auto cover = krishna_kclusters(net.graph, k);
+    const Clustering c = khop_clustering(net.graph, k);
+    EXPECT_GE(cover.clusters.size(), c.num_clusters()) << "k=" << k;
+  }
+}
+
+TEST(KCluster, RejectsBadInput) {
+  EXPECT_THROW(krishna_kclusters(path_graph(3), 0), InvalidArgument);
+  EXPECT_THROW(krishna_kclusters(Graph(3), 1), NotConnected);
+}
+
+TEST(KCluster, ValidatorCatchesCorruption) {
+  const Graph g = path_graph(4);
+  auto cover = krishna_kclusters(g, 1);
+  // Inject a pair that is too far apart.
+  cover.clusters[0].push_back(3);
+  cover.clusters_of[3].push_back(0);
+  EXPECT_FALSE(validate_kcluster_cover(g, cover).empty());
+}
+
+}  // namespace
+}  // namespace khop

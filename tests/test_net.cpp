@@ -1,0 +1,216 @@
+// Unit tests for network generation, mobility and energy models.
+#include <gtest/gtest.h>
+
+#include "khop/common/error.hpp"
+#include "khop/geom/degree_calibration.hpp"
+#include "khop/graph/components.hpp"
+#include "khop/graph/metrics.hpp"
+#include "khop/net/energy.hpp"
+#include "khop/net/generator.hpp"
+#include "khop/net/mobility.hpp"
+
+namespace khop {
+namespace {
+
+TEST(Generator, ProducesConnectedNetwork) {
+  GeneratorConfig cfg;
+  cfg.num_nodes = 100;
+  cfg.target_degree = 6.0;
+  Rng rng(101);
+  const AdHocNetwork net = generate_network(cfg, rng);
+  EXPECT_TRUE(is_connected(net.graph));
+  EXPECT_EQ(net.positions.size(), net.graph.num_nodes());
+  EXPECT_EQ(net.requested_nodes, 100u);
+}
+
+TEST(Generator, IsDeterministic) {
+  GeneratorConfig cfg;
+  cfg.num_nodes = 60;
+  Rng a(7), b(7);
+  const AdHocNetwork n1 = generate_network(cfg, a);
+  const AdHocNetwork n2 = generate_network(cfg, b);
+  EXPECT_EQ(n1.positions, n2.positions);
+  EXPECT_EQ(n1.radius, n2.radius);
+  EXPECT_EQ(n1.graph.edge_list(), n2.graph.edge_list());
+}
+
+TEST(Generator, CalibratedDegreeNearTarget) {
+  GeneratorConfig cfg;
+  cfg.num_nodes = 150;
+  cfg.target_degree = 10.0;
+  Rng rng(55);
+  double mean = 0.0;
+  const int reps = 20;
+  for (int i = 0; i < reps; ++i) {
+    mean += degree_stats(generate_network(cfg, rng).graph).mean;
+  }
+  EXPECT_NEAR(mean / reps, 10.0, 0.8);
+}
+
+TEST(Generator, ExplicitRadiusWinsOverDegree) {
+  GeneratorConfig cfg;
+  cfg.num_nodes = 50;
+  cfg.explicit_radius = 30.0;
+  Rng rng(2);
+  EXPECT_DOUBLE_EQ(generate_network(cfg, rng).radius, 30.0);
+}
+
+TEST(Generator, AnalyticModeUsesFormulaRadius) {
+  GeneratorConfig cfg;
+  cfg.num_nodes = 100;
+  cfg.target_degree = 8.0;
+  cfg.radius_mode = RadiusMode::kAnalytic;
+  Rng rng(3);
+  const AdHocNetwork net = generate_network(cfg, rng);
+  EXPECT_DOUBLE_EQ(net.radius, analytic_radius(100, 8.0, cfg.field));
+}
+
+TEST(Generator, LccFallbackKeepsConnectedCore) {
+  // A radius too small for full connectivity: the generator must fall back
+  // to the largest component (still connected, fewer nodes).
+  GeneratorConfig cfg;
+  cfg.num_nodes = 60;
+  cfg.explicit_radius = 6.0;
+  cfg.max_placement_attempts = 3;
+  Rng rng(9);
+  const AdHocNetwork net = generate_network(cfg, rng);
+  EXPECT_TRUE(is_connected(net.graph));
+  EXPECT_EQ(net.connectivity, ConnectivityOutcome::kLargestComponent);
+  EXPECT_LT(net.num_nodes(), 60u);
+  EXPECT_EQ(net.requested_nodes, 60u);
+}
+
+TEST(Generator, ThrowsWithoutFallback) {
+  GeneratorConfig cfg;
+  cfg.num_nodes = 60;
+  cfg.explicit_radius = 5.0;
+  cfg.max_placement_attempts = 2;
+  cfg.allow_lcc_fallback = false;
+  Rng rng(9);
+  EXPECT_THROW(generate_network(cfg, rng), NotConnected);
+}
+
+TEST(Generator, RejectsTinyNetworks) {
+  GeneratorConfig cfg;
+  cfg.num_nodes = 1;
+  Rng rng(1);
+  EXPECT_THROW(generate_network(cfg, rng), InvalidArgument);
+}
+
+TEST(Mobility, NodesStayInFieldAndMove) {
+  GeneratorConfig cfg;
+  cfg.num_nodes = 40;
+  cfg.explicit_radius = 25.0;
+  Rng rng(17);
+  AdHocNetwork net = generate_network(cfg, rng);
+  const auto before = net.positions;
+
+  RandomWaypointModel model(RandomWaypointConfig{}, net.num_nodes(),
+                            net.field, rng);
+  for (int t = 0; t < 50; ++t) model.step(net, rng);
+
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < net.positions.size(); ++i) {
+    EXPECT_TRUE(net.field.contains(net.positions[i]));
+    if (!(net.positions[i] == before[i])) ++moved;
+  }
+  EXPECT_GT(moved, net.positions.size() / 2);
+
+  net.rebuild_graph();  // must not throw; degree changes with positions
+}
+
+TEST(Mobility, RejectsBadSpeeds) {
+  Rng rng(1);
+  EXPECT_THROW(RandomWaypointModel(RandomWaypointConfig{.min_speed = 0.0},
+                                   5, Field{}, rng),
+               InvalidArgument);
+}
+
+TEST(Mobility, GaussMarkovStaysInFieldAndMoves) {
+  GeneratorConfig cfg;
+  cfg.num_nodes = 40;
+  cfg.explicit_radius = 25.0;
+  Rng rng(23);
+  AdHocNetwork net = generate_network(cfg, rng);
+  const auto before = net.positions;
+
+  GaussMarkovModel model(GaussMarkovConfig{}, net.num_nodes(), rng);
+  for (int t = 0; t < 100; ++t) model.step(net, rng);
+
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < net.positions.size(); ++i) {
+    EXPECT_TRUE(net.field.contains(net.positions[i]));
+    if (!(net.positions[i] == before[i])) ++moved;
+  }
+  EXPECT_EQ(moved, net.positions.size());  // everyone drifts every tick
+}
+
+TEST(Mobility, GaussMarkovAlphaOneIsStraightLine) {
+  // With alpha = 1 and no noise injection the heading never changes, so
+  // consecutive displacement vectors are parallel (until a reflection).
+  GeneratorConfig cfg;
+  cfg.num_nodes = 5;
+  cfg.explicit_radius = 80.0;
+  Rng rng(29);
+  AdHocNetwork net = generate_network(cfg, rng);
+  // Center the nodes so a few ticks cannot hit a border.
+  for (auto& p : net.positions) p = {50.0, 50.0};
+
+  GaussMarkovConfig gm;
+  gm.alpha = 1.0;
+  gm.mean_speed = 2.0;
+  GaussMarkovModel model(gm, net.num_nodes(), rng);
+  const auto p0 = net.positions;
+  model.step(net, rng);
+  const auto p1 = net.positions;
+  model.step(net, rng);
+  const auto p2 = net.positions;
+  for (std::size_t i = 0; i < p0.size(); ++i) {
+    const double dx1 = p1[i].x - p0[i].x, dy1 = p1[i].y - p0[i].y;
+    const double dx2 = p2[i].x - p1[i].x, dy2 = p2[i].y - p1[i].y;
+    EXPECT_NEAR(dx1 * dy2 - dy1 * dx2, 0.0, 1e-9);  // parallel
+  }
+}
+
+TEST(Mobility, GaussMarkovRejectsBadConfig) {
+  Rng rng(1);
+  EXPECT_THROW(GaussMarkovModel(GaussMarkovConfig{.alpha = 1.5}, 5, rng),
+               InvalidArgument);
+  EXPECT_THROW(GaussMarkovModel(GaussMarkovConfig{.mean_speed = 0.0}, 5, rng),
+               InvalidArgument);
+}
+
+TEST(Energy, DrainsByRole) {
+  EnergyConfig cfg;
+  cfg.initial = 10.0;
+  cfg.member_cost = 1.0;
+  cfg.gateway_cost = 2.0;
+  cfg.clusterhead_cost = 5.0;
+  EnergyState st(cfg, 3);
+  st.apply_epoch({NodeRole::kMember, NodeRole::kGateway,
+                  NodeRole::kClusterhead});
+  EXPECT_DOUBLE_EQ(st.residual(0), 9.0);
+  EXPECT_DOUBLE_EQ(st.residual(1), 8.0);
+  EXPECT_DOUBLE_EQ(st.residual(2), 5.0);
+  EXPECT_EQ(st.alive_count(), 3u);
+}
+
+TEST(Energy, ClampsAtZeroAndCountsDead) {
+  EnergyConfig cfg;
+  cfg.initial = 3.0;
+  cfg.clusterhead_cost = 2.0;
+  EnergyState st(cfg, 1);
+  st.apply_epoch({NodeRole::kClusterhead});
+  st.apply_epoch({NodeRole::kClusterhead});
+  EXPECT_DOUBLE_EQ(st.residual(0), 0.0);
+  EXPECT_FALSE(st.alive(0));
+  EXPECT_EQ(st.alive_count(), 0u);
+}
+
+TEST(Energy, RejectsMismatchedRoles) {
+  EnergyState st(EnergyConfig{}, 2);
+  EXPECT_THROW(st.apply_epoch({NodeRole::kMember}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace khop

@@ -1,0 +1,85 @@
+// Unit tests for the umbrella public API (khop/core/pipeline.hpp).
+#include <gtest/gtest.h>
+
+#include "khop/common/error.hpp"
+#include "khop/core/pipeline.hpp"
+#include "khop/net/generator.hpp"
+
+namespace khop {
+namespace {
+
+AdHocNetwork make_net(std::uint64_t seed, std::size_t n = 100) {
+  GeneratorConfig cfg;
+  cfg.num_nodes = n;
+  Rng rng(seed);
+  return generate_network(cfg, rng);
+}
+
+TEST(Pipeline, DefaultOptionsProduceValidatedBackbone) {
+  const AdHocNetwork net = make_net(1301);
+  const auto r = build_connected_clustering(net);
+  EXPECT_FALSE(r.clustering.heads.empty());
+  EXPECT_EQ(r.cds.size(),
+            r.backbone.heads.size() + r.backbone.gateways.size());
+  EXPECT_EQ(r.backbone.pipeline, Pipeline::kAcLmst);
+}
+
+TEST(Pipeline, EveryPipelineAndKCombination) {
+  const AdHocNetwork net = make_net(1302, 90);
+  for (Hops k = 1; k <= 3; ++k) {
+    for (const Pipeline p : kAllPipelines) {
+      PipelineOptions opts;
+      opts.k = k;
+      opts.pipeline = p;
+      // validate = true throws on any Theorem 1/2 violation.
+      const auto r = build_connected_clustering(net, opts);
+      EXPECT_GT(r.cds.size(), 0u) << pipeline_name(p) << " k=" << k;
+    }
+  }
+}
+
+TEST(Pipeline, EnergyPriorityRequiresState) {
+  const AdHocNetwork net = make_net(1303, 60);
+  PipelineOptions opts;
+  opts.priority = PriorityRule::kHighestEnergy;
+  EXPECT_THROW(build_connected_clustering(net, opts), InvalidArgument);
+
+  EnergyState energy(EnergyConfig{}, net.num_nodes());
+  const auto r = build_connected_clustering(net, opts, &energy);
+  EXPECT_FALSE(r.clustering.heads.empty());
+}
+
+TEST(Pipeline, RandomTimerRequiresRng) {
+  const AdHocNetwork net = make_net(1304, 60);
+  PipelineOptions opts;
+  opts.priority = PriorityRule::kRandomTimer;
+  EXPECT_THROW(build_connected_clustering(net, opts), InvalidArgument);
+
+  Rng rng(9);
+  const auto r = build_connected_clustering(net, opts, nullptr, &rng);
+  EXPECT_FALSE(r.clustering.heads.empty());
+}
+
+TEST(Pipeline, GraphOverloadMatchesNetworkOverload) {
+  const AdHocNetwork net = make_net(1305, 70);
+  const auto a = build_connected_clustering(net);
+  const auto b = build_connected_clustering(net.graph);
+  EXPECT_EQ(a.backbone.heads, b.backbone.heads);
+  EXPECT_EQ(a.backbone.gateways, b.backbone.gateways);
+}
+
+TEST(Pipeline, AffiliationRuleChangesMembershipNotValidity) {
+  const AdHocNetwork net = make_net(1306, 80);
+  for (const AffiliationRule rule :
+       {AffiliationRule::kIdBased, AffiliationRule::kDistanceBased,
+        AffiliationRule::kSizeBased}) {
+    PipelineOptions opts;
+    opts.k = 2;
+    opts.affiliation = rule;
+    const auto r = build_connected_clustering(net, opts);
+    EXPECT_FALSE(r.clustering.heads.empty());
+  }
+}
+
+}  // namespace
+}  // namespace khop

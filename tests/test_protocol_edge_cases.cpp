@@ -1,0 +1,132 @@
+// Edge-case tests for the distributed protocols: tiny graphs, extreme k,
+// priority encoding, and degenerate topologies.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "khop/common/error.hpp"
+#include "khop/sim/protocols/ancr_protocol.hpp"
+#include "khop/sim/protocols/clustering_protocol.hpp"
+#include "khop/sim/protocols/gateway_protocol.hpp"
+
+namespace khop {
+namespace {
+
+using EdgeList = std::vector<std::pair<NodeId, NodeId>>;
+
+Graph path_graph(std::size_t n) {
+  EdgeList edges;
+  for (NodeId i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return Graph::from_edges(n, edges);
+}
+
+TEST(EncodePriority, PreservesOrdering) {
+  const std::vector<double> values{-1e300, -42.5, -1.0, -1e-10, 0.0,
+                                   1e-10,  1.0,   42.5, 1e300};
+  for (std::size_t i = 0; i + 1 < values.size(); ++i) {
+    EXPECT_LT(encode_priority(values[i]), encode_priority(values[i + 1]))
+        << values[i] << " vs " << values[i + 1];
+  }
+}
+
+TEST(EncodePriority, EqualInputsEqualOutputs) {
+  EXPECT_EQ(encode_priority(3.25), encode_priority(3.25));
+  EXPECT_EQ(encode_priority(-7.5), encode_priority(-7.5));
+  EXPECT_EQ(encode_priority(0.0), encode_priority(0.0));
+}
+
+TEST(ProtocolEdge, TwoNodeNetwork) {
+  const Graph g = path_graph(2);
+  const auto prio = make_priorities(g, PriorityRule::kLowestId);
+  const Clustering c = run_distributed_clustering(
+      g, 1, prio, AffiliationRule::kIdBased);
+  EXPECT_EQ(c.heads, (std::vector<NodeId>{0}));
+  EXPECT_EQ(c.head_of, (std::vector<NodeId>{0, 0}));
+}
+
+TEST(ProtocolEdge, PathGraphMatchesHandComputation) {
+  // Same topology the centralized unit test pins down: heads {0,3,6,9}.
+  const Graph g = path_graph(10);
+  const auto prio = make_priorities(g, PriorityRule::kLowestId);
+  const Clustering c = run_distributed_clustering(
+      g, 2, prio, AffiliationRule::kIdBased);
+  EXPECT_EQ(c.heads, (std::vector<NodeId>{0, 3, 6, 9}));
+  EXPECT_EQ(c.head_of,
+            (std::vector<NodeId>{0, 0, 0, 3, 3, 3, 6, 6, 6, 9}));
+}
+
+TEST(ProtocolEdge, KLargerThanDiameter) {
+  // One head claims everything; no gateways anywhere.
+  const Graph g = path_graph(5);
+  const auto prio = make_priorities(g, PriorityRule::kLowestId);
+  const Clustering c = run_distributed_clustering(
+      g, 8, prio, AffiliationRule::kIdBased);
+  EXPECT_EQ(c.heads, (std::vector<NodeId>{0}));
+
+  const Backbone b = run_distributed_aclmst(g, c);
+  EXPECT_TRUE(b.gateways.empty());
+  EXPECT_TRUE(b.virtual_links.empty());
+}
+
+TEST(ProtocolEdge, StarGraphSingleRound) {
+  // Star center 0: k=1 -> node 0 is the only head, one election round.
+  EdgeList edges;
+  for (NodeId leaf = 1; leaf <= 6; ++leaf) edges.emplace_back(0, leaf);
+  const Graph g = Graph::from_edges(7, edges);
+  const auto prio = make_priorities(g, PriorityRule::kLowestId);
+  const Clustering c = run_distributed_clustering(
+      g, 1, prio, AffiliationRule::kIdBased);
+  EXPECT_EQ(c.heads, (std::vector<NodeId>{0}));
+  for (NodeId v = 1; v < 7; ++v) {
+    EXPECT_EQ(c.head_of[v], 0u);
+    EXPECT_EQ(c.dist_to_head[v], 1u);
+  }
+}
+
+TEST(ProtocolEdge, ReverseIdPriorityElectsHighIds) {
+  // Negate the id as key: the *largest* id in each neighborhood wins.
+  const Graph g = path_graph(6);
+  std::vector<PriorityKey> prio(6);
+  for (NodeId v = 0; v < 6; ++v) {
+    prio[v] = {.key = -static_cast<double>(v), .id = v};
+  }
+  const Clustering dist = run_distributed_clustering(
+      g, 2, prio, AffiliationRule::kIdBased);
+  const Clustering central = khop_clustering(g, 2, prio);
+  EXPECT_EQ(dist.heads, central.heads);
+  EXPECT_EQ(dist.heads.back(), 5u);  // the top id must be a head
+}
+
+TEST(ProtocolEdge, AncrOnTwoClusterPath) {
+  // Path 0..5 with k=1: heads {0,2,4}; A-NCR pairs (0,2),(2,4).
+  const Graph g = path_graph(6);
+  const Clustering c = khop_clustering(g, 1);
+  const NeighborSelection sel = run_distributed_ancr(g, c);
+  EXPECT_EQ(sel.head_pairs,
+            (std::vector<std::pair<NodeId, NodeId>>{{0, 2}, {2, 4}}));
+}
+
+TEST(ProtocolEdge, AcLmstOnPathMarksOddNodes) {
+  const Graph g = path_graph(7);
+  const Clustering c = khop_clustering(g, 1);  // heads {0,2,4,6}
+  const Backbone b = run_distributed_aclmst(g, c);
+  EXPECT_EQ(b.gateways, (std::vector<NodeId>{1, 3, 5}));
+}
+
+TEST(ProtocolEdge, DenseCliqueOneHead) {
+  // Complete graph: node 0 dominates everything at k=1 in one round.
+  EdgeList edges;
+  const std::size_t n = 8;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  }
+  const Graph g = Graph::from_edges(n, edges);
+  const auto prio = make_priorities(g, PriorityRule::kLowestId);
+  const Clustering c = run_distributed_clustering(
+      g, 1, prio, AffiliationRule::kIdBased);
+  EXPECT_EQ(c.heads, (std::vector<NodeId>{0}));
+}
+
+}  // namespace
+}  // namespace khop

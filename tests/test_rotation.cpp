@@ -1,0 +1,98 @@
+// Unit tests for power-aware clusterhead rotation (section 3.3).
+#include <gtest/gtest.h>
+
+#include "khop/common/error.hpp"
+#include "khop/dynamic/rotation.hpp"
+#include "khop/net/generator.hpp"
+
+namespace khop {
+namespace {
+
+AdHocNetwork make_net(std::uint64_t seed, std::size_t n = 80) {
+  GeneratorConfig cfg;
+  cfg.num_nodes = n;
+  cfg.target_degree = 8.0;
+  Rng rng(seed);
+  return generate_network(cfg, rng);
+}
+
+TEST(Rotation, RunsRequestedEpochs) {
+  const AdHocNetwork net = make_net(1201);
+  RotationConfig cfg;
+  cfg.max_epochs = 10;
+  cfg.energy.initial = 1000.0;  // nobody dies
+  Rng rng(1);
+  const RotationResult r = run_rotation(net, cfg, rng);
+  EXPECT_EQ(r.epochs.size(), 10u);
+  EXPECT_EQ(r.first_death_epoch, 10u);
+  EXPECT_FALSE(r.stopped_disconnected);
+}
+
+TEST(Rotation, EnergyDecreasesMonotonically) {
+  const AdHocNetwork net = make_net(1202);
+  RotationConfig cfg;
+  cfg.max_epochs = 15;
+  cfg.energy.initial = 1000.0;
+  Rng rng(2);
+  const RotationResult r = run_rotation(net, cfg, rng);
+  for (std::size_t i = 1; i < r.epochs.size(); ++i) {
+    EXPECT_LE(r.epochs[i].mean_residual, r.epochs[i - 1].mean_residual);
+  }
+}
+
+TEST(Rotation, RotationOutlivesStaticLowestId) {
+  // Head role rotation (energy priority) must delay the first death versus
+  // pinning the same lowest-id heads forever.
+  const AdHocNetwork net = make_net(1203, 70);
+  RotationConfig rotating;
+  rotating.max_epochs = 400;
+  rotating.priority = PriorityRule::kHighestEnergy;
+  rotating.energy.initial = 60.0;
+  rotating.energy.clusterhead_cost = 1.0;
+  rotating.energy.gateway_cost = 0.4;
+  rotating.energy.member_cost = 0.05;
+
+  RotationConfig pinned = rotating;
+  pinned.priority = PriorityRule::kLowestId;
+
+  Rng r1(3), r2(3);
+  const RotationResult rot = run_rotation(net, rotating, r1);
+  const RotationResult fix = run_rotation(net, pinned, r2);
+  EXPECT_GT(rot.first_death_epoch, fix.first_death_epoch);
+}
+
+TEST(Rotation, ChurnIsNonzeroUnderEnergyPriority) {
+  const AdHocNetwork net = make_net(1204);
+  RotationConfig cfg;
+  cfg.max_epochs = 12;
+  cfg.energy.initial = 500.0;
+  Rng rng(4);
+  const RotationResult r = run_rotation(net, cfg, rng);
+  std::size_t churn = 0;
+  for (std::size_t i = 1; i < r.epochs.size(); ++i) {
+    churn += r.epochs[i].head_churn;
+  }
+  EXPECT_GT(churn, 0u);
+}
+
+TEST(Rotation, StopsWhenNetworkDies) {
+  const AdHocNetwork net = make_net(1205, 50);
+  RotationConfig cfg;
+  cfg.max_epochs = 100000;
+  cfg.energy.initial = 5.0;  // very short lifetime
+  cfg.energy.member_cost = 0.5;
+  Rng rng(5);
+  const RotationResult r = run_rotation(net, cfg, rng);
+  EXPECT_LT(r.epochs.size(), 100000u);
+}
+
+TEST(Rotation, RejectsZeroEpochs) {
+  const AdHocNetwork net = make_net(1206, 40);
+  RotationConfig cfg;
+  cfg.max_epochs = 0;
+  Rng rng(6);
+  EXPECT_THROW(run_rotation(net, cfg, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace khop

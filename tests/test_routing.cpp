@@ -1,0 +1,145 @@
+// Unit tests for hierarchical backbone routing.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "khop/cds/routing.hpp"
+#include "khop/common/error.hpp"
+#include "khop/net/generator.hpp"
+
+namespace khop {
+namespace {
+
+using EdgeList = std::vector<std::pair<NodeId, NodeId>>;
+
+struct Fixture {
+  AdHocNetwork net;
+  Clustering clustering;
+  Backbone backbone;
+
+  explicit Fixture(std::uint64_t seed, Hops k, std::size_t n = 100,
+                   Pipeline p = Pipeline::kAcLmst) {
+    GeneratorConfig cfg;
+    cfg.num_nodes = n;
+    Rng rng(seed);
+    net = generate_network(cfg, rng);
+    clustering = khop_clustering(net.graph, k);
+    backbone = build_backbone(net.graph, clustering, p);
+  }
+};
+
+TEST(Routing, PathOnHandBuiltChain) {
+  // Path 0..6 with k=1: heads {0,2,4,6}, gateways {1,3,5}. Route 1 -> 5
+  // must walk the chain.
+  const Graph g = Graph::from_edges(
+      7, EdgeList{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}});
+  const Clustering c = khop_clustering(g, 1);
+  const Backbone b = build_backbone(g, c, Pipeline::kAcLmst);
+  const BackboneRouter router(g, c, b);
+  const Route r = router.route(1, 5);
+  EXPECT_EQ(r.path, (std::vector<NodeId>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(r.hops(), 4u);
+  EXPECT_DOUBLE_EQ(router.stretch(1, 5), 1.0);
+}
+
+TEST(Routing, SelfRouteIsSingleton) {
+  const Fixture f(1701, 2, 60);
+  const BackboneRouter router(f.net.graph, f.clustering, f.backbone);
+  const Route r = router.route(7, 7);
+  EXPECT_EQ(r.path, (std::vector<NodeId>{7}));
+  EXPECT_EQ(r.hops(), 0u);
+}
+
+TEST(Routing, AllPairsValidSimplePaths) {
+  const Fixture f(1702, 2, 80);
+  const BackboneRouter router(f.net.graph, f.clustering, f.backbone);
+  for (NodeId s = 0; s < 20; ++s) {
+    for (NodeId d = 40; d < 60; ++d) {
+      const Route r = router.route(s, d);
+      ASSERT_GE(r.path.size(), 1u);
+      EXPECT_EQ(r.path.front(), s);
+      EXPECT_EQ(r.path.back(), d);
+      // Simple: no repeated nodes.
+      auto sorted = r.path;
+      std::sort(sorted.begin(), sorted.end());
+      EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()),
+                sorted.end())
+          << "loop in route " << s << "->" << d;
+      // Consecutive nodes adjacent in G (also checked internally).
+      for (std::size_t i = 0; i + 1 < r.path.size(); ++i) {
+        EXPECT_TRUE(f.net.graph.has_edge(r.path[i], r.path[i + 1]));
+      }
+    }
+  }
+}
+
+TEST(Routing, StretchAtLeastOne) {
+  const Fixture f(1703, 2, 90);
+  const BackboneRouter router(f.net.graph, f.clustering, f.backbone);
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const auto s = static_cast<NodeId>(rng.uniform_int(f.net.num_nodes()));
+    const auto d = static_cast<NodeId>(rng.uniform_int(f.net.num_nodes()));
+    if (s == d) continue;
+    EXPECT_GE(router.stretch(s, d), 1.0);
+  }
+}
+
+TEST(Routing, IntraClusterRoutesStayShort) {
+  const Fixture f(1704, 3, 90);
+  const BackboneRouter router(f.net.graph, f.clustering, f.backbone);
+  for (NodeId v = 0; v < f.net.num_nodes(); ++v) {
+    const NodeId h = f.clustering.head_of[v];
+    if (h == v) continue;
+    const Route r = router.route(v, h);
+    EXPECT_EQ(r.hops(), f.clustering.dist_to_head[v]) << "node " << v;
+  }
+}
+
+TEST(Routing, WorksOnEveryPipeline) {
+  for (const Pipeline p : kAllPipelines) {
+    const Fixture f(1705, 2, 80, p);
+    const BackboneRouter router(f.net.graph, f.clustering, f.backbone);
+    const Route r = router.route(0, static_cast<NodeId>(
+                                        f.net.num_nodes() - 1));
+    EXPECT_EQ(r.path.front(), 0u) << pipeline_name(p);
+    EXPECT_EQ(r.path.back(), f.net.num_nodes() - 1) << pipeline_name(p);
+  }
+}
+
+TEST(Routing, DenserBackboneGivesSmallerStretch) {
+  // NC-Mesh keeps every selected link; G-MST keeps a tree. Average stretch
+  // over the mesh must be <= over the tree.
+  const Fixture mesh(1706, 2, 100, Pipeline::kNcMesh);
+  const Backbone tree_b =
+      build_backbone(mesh.net.graph, mesh.clustering, Pipeline::kGmst);
+  const BackboneRouter mesh_router(mesh.net.graph, mesh.clustering,
+                                   mesh.backbone);
+  const BackboneRouter tree_router(mesh.net.graph, mesh.clustering, tree_b);
+  double mesh_total = 0.0, tree_total = 0.0;
+  Rng rng(5);
+  int pairs = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto s =
+        static_cast<NodeId>(rng.uniform_int(mesh.net.num_nodes()));
+    const auto d =
+        static_cast<NodeId>(rng.uniform_int(mesh.net.num_nodes()));
+    if (s == d) continue;
+    ++pairs;
+    mesh_total += mesh_router.stretch(s, d);
+    tree_total += tree_router.stretch(s, d);
+  }
+  ASSERT_GT(pairs, 100);
+  EXPECT_LE(mesh_total, tree_total * 1.02);
+}
+
+TEST(Routing, RejectsBadEndpoints) {
+  const Fixture f(1707, 1, 50);
+  const BackboneRouter router(f.net.graph, f.clustering, f.backbone);
+  EXPECT_THROW(router.route(0, static_cast<NodeId>(9999)), InvalidArgument);
+  EXPECT_THROW(router.stretch(3, 3), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace khop

@@ -1,0 +1,90 @@
+// Unit tests for streaming statistics and the paper's CI stopping rule.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "khop/exp/stats.hpp"
+
+namespace khop {
+namespace {
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStats, FewSamplesHaveZeroVariance) {
+  RunningStats s;
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(RunningStats, ConstantStreamHasZeroVariance) {
+  RunningStats s;
+  for (int i = 0; i < 100; ++i) s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(StudentT, TableValues) {
+  EXPECT_DOUBLE_EQ(student_t_90(1), 6.314);
+  EXPECT_DOUBLE_EQ(student_t_90(10), 1.812);
+  EXPECT_DOUBLE_EQ(student_t_90(30), 1.697);
+  EXPECT_DOUBLE_EQ(student_t_90(100), 1.645);  // normal regime
+  EXPECT_DOUBLE_EQ(student_t_90(0), 6.314);    // degenerate guard
+}
+
+TEST(CiHalfwidth, InfiniteBeforeTwoSamples) {
+  RunningStats s;
+  s.add(1.0);
+  EXPECT_TRUE(std::isinf(ci_halfwidth_90(s)));
+}
+
+TEST(CiHalfwidth, MatchesManualFormula) {
+  RunningStats s;
+  for (const double x : {10.0, 12.0, 11.0, 13.0, 9.0}) s.add(x);
+  const double expect =
+      student_t_90(4) * s.stddev() / std::sqrt(5.0);
+  EXPECT_DOUBLE_EQ(ci_halfwidth_90(s), expect);
+}
+
+TEST(CiHalfwidth, ShrinksWithSamples) {
+  RunningStats small, large;
+  // Same alternating data, 10 vs 1000 points.
+  for (int i = 0; i < 10; ++i) small.add(i % 2 == 0 ? 9.0 : 11.0);
+  for (int i = 0; i < 1000; ++i) large.add(i % 2 == 0 ? 9.0 : 11.0);
+  EXPECT_LT(ci_halfwidth_90(large), ci_halfwidth_90(small));
+}
+
+TEST(CiStoppingRule, AcceptsTightSeries) {
+  RunningStats s;
+  for (int i = 0; i < 200; ++i) s.add(100.0 + (i % 2 == 0 ? 0.1 : -0.1));
+  EXPECT_TRUE(ci_within_relative(s, 0.01));
+}
+
+TEST(CiStoppingRule, RejectsWideSeries) {
+  RunningStats s;
+  for (int i = 0; i < 10; ++i) s.add(i % 2 == 0 ? 10.0 : 200.0);
+  EXPECT_FALSE(ci_within_relative(s, 0.01));
+}
+
+TEST(CiStoppingRule, ZeroMeanNeedsZeroVariance) {
+  RunningStats zero;
+  zero.add(0.0);
+  zero.add(0.0);
+  EXPECT_TRUE(ci_within_relative(zero, 0.01));
+
+  RunningStats mixed;
+  mixed.add(-1.0);
+  mixed.add(1.0);
+  EXPECT_FALSE(ci_within_relative(mixed, 0.01));
+}
+
+}  // namespace
+}  // namespace khop

@@ -1,0 +1,49 @@
+// Unit tests for the text-table / CSV emitter.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "khop/common/error.hpp"
+#include "khop/exp/table.hpp"
+
+namespace khop {
+namespace {
+
+TEST(TextTable, PrintsAlignedColumns) {
+  TextTable t({"N", "CDS"});
+  t.add_row({"50", "31.2"});
+  t.add_row({"200", "101.9"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("N"), std::string::npos);
+  EXPECT_NE(out.find("101.9"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  // Right alignment: "50" is padded to the width of "200".
+  EXPECT_NE(out.find(" 50"), std::string::npos);
+}
+
+TEST(TextTable, CsvRoundTrip) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TextTable, RejectsAityMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), InvalidArgument);
+}
+
+TEST(Fmt, FormatsDecimals) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt(-1.005, 1), "-1.0");
+}
+
+}  // namespace
+}  // namespace khop

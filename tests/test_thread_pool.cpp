@@ -1,0 +1,90 @@
+// Unit tests for the worker pool and parallel_for.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "khop/common/error.hpp"
+#include "khop/runtime/thread_pool.hpp"
+
+namespace khop {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleWithNoTasksReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+}
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPool, RejectsEmptyTask) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit({}), InvalidArgument);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // destructor joins after draining
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelFor, CoversEveryIndexOnce) {
+  ThreadPool pool(8);
+  std::vector<int> hits(1000, 0);
+  parallel_for(pool, hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                          [](int h) { return h == 1; }));
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelFor, ResultIndependentOfThreadCount) {
+  // Write-to-own-slot results must be identical for 1 and 8 threads.
+  const std::size_t n = 500;
+  std::vector<double> a(n), b(n);
+  {
+    ThreadPool pool(1);
+    parallel_for(pool, n, [&](std::size_t i) {
+      a[i] = static_cast<double>(i) * 1.5;
+    });
+  }
+  {
+    ThreadPool pool(8);
+    parallel_for(pool, n, [&](std::size_t i) {
+      b[i] = static_cast<double>(i) * 1.5;
+    });
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST(ParallelFor, MoreItemsThanChunks) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  parallel_for(pool, 10000, [&](std::size_t i) { total.fetch_add(i); });
+  EXPECT_EQ(total.load(), 10000ull * 9999ull / 2ull);
+}
+
+}  // namespace
+}  // namespace khop

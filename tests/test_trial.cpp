@@ -1,0 +1,124 @@
+// Unit tests for the parallel Monte-Carlo trial runner.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "khop/common/error.hpp"
+#include "khop/exp/trial.hpp"
+
+namespace khop {
+namespace {
+
+TEST(TrialRunner, RunsMinTrialsAtLeast) {
+  ThreadPool pool(4);
+  TrialPolicy policy;
+  policy.min_trials = 40;
+  policy.max_trials = 100;
+  std::atomic<std::size_t> calls{0};
+  const TrialSummary s = run_trials(
+      pool, policy, Rng(1), 1, [&](Rng&, std::size_t) -> std::vector<double> {
+        calls.fetch_add(1);
+        return {5.0};  // constant metric converges immediately
+      });
+  EXPECT_GE(s.trials_run, policy.min_trials);
+  EXPECT_TRUE(s.converged);
+  EXPECT_EQ(calls.load(), s.trials_run);
+  EXPECT_DOUBLE_EQ(s.metrics[0].mean(), 5.0);
+}
+
+TEST(TrialRunner, StopsAtCapWithoutConvergence) {
+  ThreadPool pool(4);
+  TrialPolicy policy;
+  policy.min_trials = 10;
+  policy.max_trials = 50;
+  policy.rel_halfwidth = 1e-9;  // unreachable tightness
+  const TrialSummary s = run_trials(
+      pool, policy, Rng(2), 1,
+      [](Rng& rng, std::size_t) -> std::vector<double> {
+        return {rng.uniform(0.0, 100.0)};
+      });
+  EXPECT_EQ(s.trials_run, 50u);
+  EXPECT_FALSE(s.converged);
+}
+
+TEST(TrialRunner, DeterministicAcrossThreadCounts) {
+  TrialPolicy policy;
+  policy.min_trials = 60;
+  policy.max_trials = 60;
+  const auto fn = [](Rng& rng, std::size_t) -> std::vector<double> {
+    return {rng.uniform(), rng.uniform(0.0, 10.0)};
+  };
+  ThreadPool p1(1), p8(8);
+  const TrialSummary a = run_trials(p1, policy, Rng(33), 2, fn);
+  const TrialSummary b = run_trials(p8, policy, Rng(33), 2, fn);
+  EXPECT_DOUBLE_EQ(a.metrics[0].mean(), b.metrics[0].mean());
+  EXPECT_DOUBLE_EQ(a.metrics[0].variance(), b.metrics[0].variance());
+  EXPECT_DOUBLE_EQ(a.metrics[1].mean(), b.metrics[1].mean());
+}
+
+TEST(TrialRunner, TrialIndexSeedsAreIndependent) {
+  // Trial i must receive the spawn(i) stream: record first draw per trial.
+  ThreadPool pool(4);
+  TrialPolicy policy;
+  policy.min_trials = 16;
+  policy.max_trials = 16;
+  std::vector<double> first(16, -1.0);
+  run_trials(pool, policy, Rng(7), 1,
+             [&](Rng& rng, std::size_t trial) -> std::vector<double> {
+               first[trial] = rng.uniform();
+               return {0.0};
+             });
+  const Rng master(7);
+  for (std::size_t i = 0; i < 16; ++i) {
+    Rng expect = master.spawn(i);
+    EXPECT_DOUBLE_EQ(first[i], expect.uniform()) << "trial " << i;
+  }
+}
+
+TEST(TrialRunner, ChecksMetricArity) {
+  ThreadPool pool(2);
+  TrialPolicy policy;
+  policy.min_trials = 2;
+  policy.max_trials = 4;
+  EXPECT_THROW(
+      run_trials(pool, policy, Rng(1), 2,
+                 [](Rng&, std::size_t) -> std::vector<double> {
+                   return {1.0};  // wrong arity
+                 }),
+      InvalidArgument);
+}
+
+TEST(TrialRunner, RejectsBadPolicy) {
+  ThreadPool pool(2);
+  TrialPolicy policy;
+  policy.min_trials = 10;
+  policy.max_trials = 5;
+  const auto fn = [](Rng&, std::size_t) -> std::vector<double> {
+    return {0.0};
+  };
+  EXPECT_THROW(run_trials(pool, policy, Rng(1), 1, fn), InvalidArgument);
+  policy.max_trials = 20;
+  policy.batch = 0;
+  EXPECT_THROW(run_trials(pool, policy, Rng(1), 1, fn), InvalidArgument);
+  EXPECT_THROW(run_trials(pool, TrialPolicy{}, Rng(1), 0, fn),
+               InvalidArgument);
+}
+
+TEST(TrialRunner, ConvergesEarlyOnLowVariance) {
+  ThreadPool pool(4);
+  TrialPolicy policy;
+  policy.min_trials = 30;
+  policy.max_trials = 1000;
+  policy.rel_halfwidth = 0.05;
+  const TrialSummary s = run_trials(
+      pool, policy, Rng(5), 1,
+      [](Rng& rng, std::size_t) -> std::vector<double> {
+        return {100.0 + rng.uniform(-1.0, 1.0)};
+      });
+  EXPECT_TRUE(s.converged);
+  EXPECT_LT(s.trials_run, 1000u);
+}
+
+}  // namespace
+}  // namespace khop

@@ -1,0 +1,94 @@
+// Unit tests for canonical virtual links (shortest gateway paths).
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "khop/common/error.hpp"
+#include "khop/gateway/virtual_link.hpp"
+#include "khop/graph/bfs.hpp"
+#include "khop/net/generator.hpp"
+
+namespace khop {
+namespace {
+
+using EdgeList = std::vector<std::pair<NodeId, NodeId>>;
+
+TEST(VirtualLink, PathAndHopsOnChain) {
+  const Graph g =
+      Graph::from_edges(5, EdgeList{{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  const auto links = VirtualLinkMap::build(g, {{0, 4}});
+  const VirtualLink& l = links.link(0, 4);
+  EXPECT_EQ(l.u, 0u);
+  EXPECT_EQ(l.v, 4u);
+  EXPECT_EQ(l.hops, 4u);
+  EXPECT_EQ(l.path, (std::vector<NodeId>{0, 1, 2, 3, 4}));
+}
+
+TEST(VirtualLink, UnorderedLookup) {
+  const Graph g = Graph::from_edges(3, EdgeList{{0, 1}, {1, 2}});
+  const auto links = VirtualLinkMap::build(g, {{2, 0}});
+  EXPECT_TRUE(links.contains(0, 2));
+  EXPECT_TRUE(links.contains(2, 0));
+  EXPECT_EQ(links.link(2, 0).hops, 2u);
+  EXPECT_EQ(links.link(0, 2).path.front(), 0u);  // rooted at smaller id
+}
+
+TEST(VirtualLink, CanonicalTieBreakPicksSmallInterior) {
+  // Two parallel 2-hop routes 0-1-3 and 0-2-3: the canonical path must use
+  // interior node 1.
+  const Graph g =
+      Graph::from_edges(4, EdgeList{{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  const auto links = VirtualLinkMap::build(g, {{0, 3}});
+  EXPECT_EQ(links.link(0, 3).path, (std::vector<NodeId>{0, 1, 3}));
+}
+
+TEST(VirtualLink, MissingPairThrows) {
+  const Graph g = Graph::from_edges(3, EdgeList{{0, 1}, {1, 2}});
+  const auto links = VirtualLinkMap::build(g, {{0, 1}});
+  EXPECT_THROW(links.link(0, 2), InvalidArgument);
+  EXPECT_FALSE(links.contains(0, 2));
+}
+
+TEST(VirtualLink, RejectsSelfPair) {
+  const Graph g = Graph::from_edges(2, EdgeList{{0, 1}});
+  EXPECT_THROW(VirtualLinkMap::build(g, {{1, 1}}), InvalidArgument);
+}
+
+TEST(VirtualLink, DisconnectedEndpointsThrow) {
+  const Graph g = Graph::from_edges(4, EdgeList{{0, 1}, {2, 3}});
+  EXPECT_THROW(VirtualLinkMap::build(g, {{0, 3}}), NotConnected);
+}
+
+TEST(VirtualLink, HopsMatchBfsOnRandomNetworks) {
+  Rng rng(601);
+  GeneratorConfig cfg;
+  cfg.num_nodes = 80;
+  const AdHocNetwork net = generate_network(cfg, rng);
+
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (NodeId u = 0; u < 12; ++u) {
+    for (NodeId v = u + 1; v < 12; ++v) pairs.emplace_back(u, v);
+  }
+  const auto links = VirtualLinkMap::build(net.graph, pairs);
+  for (const auto& [u, v] : pairs) {
+    const auto tree = bfs(net.graph, u);
+    const VirtualLink& l = links.link(u, v);
+    EXPECT_EQ(l.hops, tree.dist[v]);
+    EXPECT_EQ(l.path.size(), l.hops + 1u);
+    EXPECT_EQ(l.path.front(), u);
+    EXPECT_EQ(l.path.back(), v);
+    for (std::size_t i = 0; i + 1 < l.path.size(); ++i) {
+      EXPECT_TRUE(net.graph.has_edge(l.path[i], l.path[i + 1]));
+    }
+  }
+}
+
+TEST(VirtualLink, DuplicatePairsDeduplicated) {
+  const Graph g = Graph::from_edges(3, EdgeList{{0, 1}, {1, 2}});
+  const auto links = VirtualLinkMap::build(g, {{0, 2}, {2, 0}, {0, 2}});
+  EXPECT_EQ(links.all().size(), 1u);
+}
+
+}  // namespace
+}  // namespace khop
