@@ -1,0 +1,111 @@
+// Extension experiment X7 - delivery-aware broadcast over lossy radios.
+//
+// Panel 1 sweeps an ambient per-link loss rate over the paper's unit-disk
+// topology and reports the broadcast delivery ratio actually achieved by
+// blind flooding vs CDS-confined flooding (with and without a link-retry
+// budget), plus how often the clustering backbone itself survives in a
+// sampled realized topology (CDS still connected and dominating).
+//
+// Panel 2 fixes the loss knob and swaps the radio model instead: ideal unit
+// disk, quasi-UDG (certain inside 0.6 r, linear ramp to r) and log-normal
+// shadowing (r_half = r), the progression from the paper's assumption to a
+// realistic gray-zone radio.
+//
+// CSV artifacts land in $KHOP_CSV_DIR when set (ext_lossy_sweep.csv,
+// ext_lossy_models.csv).
+#include <iostream>
+
+#include "figure_common.hpp"
+#include "khop/exp/lossy.hpp"
+
+namespace {
+
+using namespace khop;
+using khop::bench::maybe_write_csv;
+
+TrialPolicy lossy_policy() {
+  TrialPolicy policy;
+  policy.min_trials = 20;
+  policy.max_trials = 40;
+  policy.batch = 20;
+  policy.rel_halfwidth = 0.02;
+  return policy;
+}
+
+void add_point_row(TextTable& t, const std::string& label,
+                   const LossySweepPoint& p) {
+  t.add_row({label, fmt(p.blind_delivery.mean(), 3),
+             fmt(p.cds_delivery.mean(), 3), fmt(p.cds_transmissions.mean(), 1),
+             fmt(p.drops.mean(), 1), fmt(p.retransmissions.mean(), 1),
+             fmt(p.backbone_survival.mean(), 2),
+             std::to_string(p.trials)});
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Extension X7 - lossy-link broadcast "
+               "(N = 100, D = 6, k = 2, AC-LMST)\n\n";
+
+  ThreadPool pool;
+  const std::uint64_t seed = 11700;
+
+  LossyExperimentConfig base;
+  base.num_nodes = 100;
+  base.avg_degree = 6.0;
+  base.k = 2;
+  base.pipeline = Pipeline::kAcLmst;
+  base.radius = resolve_lossy_radius(base, seed);
+
+  std::cout << "panel 1: ambient loss sweep (unit-disk links, per-link "
+               "Bernoulli drops)\n";
+  TextTable sweep({"loss/retry", "blind dlv", "CDS dlv", "CDS tx", "drops",
+                   "retx", "survival", "trials"});
+  for (const double loss : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}) {
+    for (const std::size_t retry : {std::size_t{0}, std::size_t{2}}) {
+      LossyExperimentConfig cfg = base;
+      cfg.radio = RadioKind::kUnitDisk;
+      cfg.ambient_loss = loss;
+      cfg.retry_budget = retry;
+      const LossySweepPoint p =
+          run_lossy_sweep_point(pool, cfg, lossy_policy(), seed);
+      add_point_row(sweep, fmt(loss, 1) + "/r" + std::to_string(retry), p);
+    }
+  }
+  sweep.print(std::cout);
+  maybe_write_csv("ext_lossy_sweep", sweep);
+
+  std::cout << "\npanel 2: radio models at ambient loss 0.2\n";
+  TextTable models({"model", "blind dlv", "CDS dlv", "CDS tx", "drops",
+                    "retx", "survival", "trials"});
+  for (const RadioKind kind :
+       {RadioKind::kUnitDisk, RadioKind::kQuasiUnitDisk,
+        RadioKind::kLogNormal}) {
+    for (const std::size_t retry : {std::size_t{0}, std::size_t{2}}) {
+      LossyExperimentConfig cfg = base;
+      cfg.radio = kind;
+      cfg.qudg_inner_fraction = 0.6;
+      cfg.shadowing_sigma_db = 4.0;
+      cfg.ambient_loss = 0.2;
+      cfg.retry_budget = retry;
+      const LossySweepPoint p =
+          run_lossy_sweep_point(pool, cfg, lossy_policy(), seed);
+      add_point_row(models,
+                    std::string(radio_kind_name(kind)) + "/r" +
+                        std::to_string(retry),
+                    p);
+    }
+  }
+  models.print(std::cout);
+  maybe_write_csv("ext_lossy_models", models);
+
+  std::cout
+      << "\nreading: blind flooding soaks up loss through sheer redundancy "
+         "while the CDS flood's delivery ratio tracks the loss rate - the "
+         "backbone trades robustness for its transmission savings. A small "
+         "per-link retry budget buys most of the redundancy back at a "
+         "fraction of the cost, and backbone survival falls off well before "
+         "delivery does: the structure, not the flood, is the fragile "
+         "part.\n";
+  return 0;
+}

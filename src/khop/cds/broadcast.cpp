@@ -46,9 +46,8 @@ BroadcastResult blind_flood(const Graph& g, NodeId source) {
   return flood(g, source, std::vector<bool>(g.num_nodes(), true));
 }
 
-BroadcastResult cds_flood(const Graph& g, const Clustering& c,
-                          const Backbone& b, NodeId source,
-                          CdsFloodModel model) {
+std::vector<bool> cds_forwarder_mask(const Graph& g, const Clustering& c,
+                                     const Backbone& b, CdsFloodModel model) {
   std::vector<bool> forwarder = b.cds_mask(g.num_nodes());
   if (c.k > 1) {
     if (model == CdsFloodModel::kBallInterior) {
@@ -79,7 +78,13 @@ BroadcastResult cds_flood(const Graph& g, const Clustering& c,
       }
     }
   }
-  return flood(g, source, forwarder);
+  return forwarder;
+}
+
+BroadcastResult cds_flood(const Graph& g, const Clustering& c,
+                          const Backbone& b, NodeId source,
+                          CdsFloodModel model) {
+  return flood(g, source, cds_forwarder_mask(g, c, b, model));
 }
 
 }  // namespace khop

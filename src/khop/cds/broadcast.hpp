@@ -44,6 +44,14 @@ enum class CdsFloodModel : std::uint8_t {
   kMemberTrees,
 };
 
+/// The n-sized forwarder mask cds_flood uses: backbone nodes plus the
+/// model's intra-cluster relays. Exposed so other broadcast simulations
+/// (e.g. the lossy radio floods) can confine forwarding to the same set.
+std::vector<bool> cds_forwarder_mask(const Graph& g, const Clustering& c,
+                                     const Backbone& b,
+                                     CdsFloodModel model =
+                                         CdsFloodModel::kMemberTrees);
+
 /// Blind flooding from \p source.
 BroadcastResult blind_flood(const Graph& g, NodeId source);
 

@@ -22,8 +22,20 @@ SpatialGrid::SpatialGrid(const std::vector<Point2>& pts, double radius)
     max_y = std::max(max_y, p.y);
   }
   cell_ = radius;
-  cols_ = static_cast<std::size_t>((max_x - min_x_) / cell_) + 1;
-  rows_ = static_cast<std::size_t>((max_y - min_y_) / cell_) + 1;
+  // Cap the cell count at O(n): a radius tiny relative to the span would
+  // otherwise allocate (span/radius)^2 cells. Enlarging cells preserves
+  // correctness - the 3x3 query window still covers the radius and the
+  // per-candidate distance test is unchanged - it only densifies cells.
+  // Doubling against the actual product handles anisotropic (e.g. near-
+  // collinear) spreads where one dimension floors at a single row.
+  const double span_x = max_x - min_x_;
+  const double span_y = max_y - min_y_;
+  const double max_cells = 4.0 * static_cast<double>(pts.size()) + 1024.0;
+  while ((span_x / cell_ + 1.0) * (span_y / cell_ + 1.0) > max_cells) {
+    cell_ *= 2.0;
+  }
+  cols_ = static_cast<std::size_t>(span_x / cell_) + 1;
+  rows_ = static_cast<std::size_t>(span_y / cell_) + 1;
   cells_.resize(cols_ * rows_);
   for (NodeId i = 0; i < pts.size(); ++i) {
     cells_[cell_index(pts[i].x, pts[i].y)].push_back(i);
@@ -38,14 +50,14 @@ std::size_t SpatialGrid::cell_index(double x, double y) const noexcept {
   return cy * cols_ + cx;
 }
 
-std::vector<NodeId> SpatialGrid::within_radius(NodeId u) const {
+template <typename Visitor>
+void SpatialGrid::for_each_within_radius(NodeId u, Visitor&& visit) const {
   KHOP_REQUIRE(u < pts_.size(), "node id out of range");
   const Point2& p = pts_[u];
   const double r2 = radius_ * radius_;
 
-  auto cx = static_cast<std::ptrdiff_t>((p.x - min_x_) / cell_);
-  auto cy = static_cast<std::ptrdiff_t>((p.y - min_y_) / cell_);
-  std::vector<NodeId> out;
+  const auto cx = static_cast<std::ptrdiff_t>((p.x - min_x_) / cell_);
+  const auto cy = static_cast<std::ptrdiff_t>((p.y - min_y_) / cell_);
   for (std::ptrdiff_t dy = -1; dy <= 1; ++dy) {
     for (std::ptrdiff_t dx = -1; dx <= 1; ++dx) {
       const std::ptrdiff_t nx = cx + dx;
@@ -56,12 +68,23 @@ std::vector<NodeId> SpatialGrid::within_radius(NodeId u) const {
       }
       for (NodeId v : cells_[static_cast<std::size_t>(ny) * cols_ +
                              static_cast<std::size_t>(nx)]) {
-        if (v != u && distance_sq(p, pts_[v]) <= r2) out.push_back(v);
+        if (v != u && distance_sq(p, pts_[v]) <= r2) visit(v);
       }
     }
   }
+}
+
+std::vector<NodeId> SpatialGrid::within_radius(NodeId u) const {
+  std::vector<NodeId> out;
+  for_each_within_radius(u, [&out](NodeId v) { out.push_back(v); });
   std::sort(out.begin(), out.end());
   return out;
+}
+
+std::size_t SpatialGrid::count_within_radius(NodeId u) const {
+  std::size_t count = 0;
+  for_each_within_radius(u, [&count](NodeId) { ++count; });
+  return count;
 }
 
 Graph build_unit_disk_graph(const std::vector<Point2>& pts, double radius) {

@@ -20,6 +20,11 @@ class SpatialGrid {
   /// in ascending id order.
   std::vector<NodeId> within_radius(NodeId u) const;
 
+  /// Number of points within \p radius of pts[u], excluding u itself.
+  /// Allocation-free (no list materialization); used by the degree
+  /// calibration's bisection probes.
+  std::size_t count_within_radius(NodeId u) const;
+
  private:
   const std::vector<Point2>& pts_;
   double radius_;
@@ -29,6 +34,11 @@ class SpatialGrid {
   std::vector<std::vector<NodeId>> cells_;
 
   std::size_t cell_index(double x, double y) const noexcept;
+
+  /// Shared 3x3 cell walk behind both queries: calls \p visit(v) for every
+  /// v != u with dist(u, v) <= radius.
+  template <typename Visitor>
+  void for_each_within_radius(NodeId u, Visitor&& visit) const;
 };
 
 /// Builds the unit-disk graph: edge {u,v} iff dist(u,v) <= radius.

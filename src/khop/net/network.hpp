@@ -35,6 +35,8 @@ struct AdHocNetwork {
   std::size_t num_nodes() const noexcept { return graph.num_nodes(); }
 
   /// Rebuilds the unit-disk graph from the current positions (after moves).
+  /// To rebuild through an arbitrary radio model instead, see
+  /// khop/radio/network_link.hpp (keeps this module radio-agnostic).
   void rebuild_graph();
 };
 

@@ -1,0 +1,60 @@
+/// \file delivery.hpp
+/// Radio-driven DeliveryModel implementations for the synchronous simulator.
+///
+/// The SyncEngine consults its DeliveryModel on every enqueue; a drop means
+/// the receiver simply never sees the message that round. Decisions come
+/// from a seeded Rng consumed in the engine's deterministic enqueue order,
+/// so a lossy run is a pure function of (topology, protocol, seed) — the
+/// same reproducibility contract as the ideal-MAC engine.
+#pragma once
+
+#include <cstdint>
+
+#include "khop/common/rng.hpp"
+#include "khop/radio/link_layer.hpp"
+#include "khop/sim/engine.hpp"
+
+namespace khop {
+
+/// The paper's ideal MAC: every attempt succeeds. Behaviourally identical
+/// to running the engine with no delivery model at all.
+class PerfectDelivery final : public DeliveryModel {
+ public:
+  bool attempt(NodeId /*from*/, NodeId /*to*/) override { return true; }
+};
+
+/// Bernoulli per-link delivery: an attempt over {from, to} succeeds with the
+/// link layer's probability for that link. Links with probability 1 never
+/// drop, so a unit-disk link layer reproduces ideal-MAC outcomes exactly.
+/// Probabilities are copied adjacency-aligned at construction, so the
+/// per-attempt lookup in the engine's innermost loop is an O(log deg)
+/// search of one neighbor span, not a search of the whole link list.
+class LinkDelivery final : public DeliveryModel {
+ public:
+  /// \p links must outlive this object.
+  LinkDelivery(const LinkLayer& links, std::uint64_t seed);
+
+  bool attempt(NodeId from, NodeId to) override;
+
+ private:
+  const LinkLayer* links_;
+  Rng rng_;
+  /// probs_[u][i] = delivery probability to graph().neighbors(u)[i].
+  std::vector<std::vector<double>> probs_;
+};
+
+/// Link-independent Bernoulli loss (ambient interference / collisions):
+/// every attempt is dropped with probability \p loss.
+class UniformLossDelivery final : public DeliveryModel {
+ public:
+  /// \pre loss in [0, 1)
+  UniformLossDelivery(double loss, std::uint64_t seed);
+
+  bool attempt(NodeId from, NodeId to) override;
+
+ private:
+  double loss_;
+  Rng rng_;
+};
+
+}  // namespace khop

@@ -1,0 +1,73 @@
+#include "khop/radio/link_layer.hpp"
+
+#include <algorithm>
+
+#include "khop/common/assert.hpp"
+#include "khop/graph/spatial_grid.hpp"
+
+namespace khop {
+
+double LinkLayer::probability(NodeId u, NodeId v) const {
+  if (u == v) return 0.0;
+  const NodeId a = std::min(u, v);
+  const NodeId b = std::max(u, v);
+  const auto it = std::lower_bound(
+      links_.begin(), links_.end(), std::make_pair(a, b),
+      [](const Link& l, const std::pair<NodeId, NodeId>& key) {
+        return std::make_pair(l.u, l.v) < key;
+      });
+  if (it == links_.end() || it->u != a || it->v != b) return 0.0;
+  return it->probability;
+}
+
+double LinkLayer::mean_probability() const noexcept {
+  if (links_.empty()) return 0.0;
+  double total = 0.0;
+  for (const Link& l : links_) total += l.probability;
+  return total / static_cast<double>(links_.size());
+}
+
+LinkLayer build_link_layer(const std::vector<Point2>& pts,
+                           const LinkModel& model, double min_probability) {
+  KHOP_REQUIRE(!pts.empty(), "empty point set");
+  KHOP_REQUIRE(min_probability >= 0.0 && min_probability <= 1.0,
+               "min_probability must be in [0, 1]");
+
+  // The grid enumerates exactly the pairs with dist_sq <= max_range^2 — the
+  // same comparison build_unit_disk_graph uses, so UnitDiskModel yields a
+  // bit-identical edge set.
+  SpatialGrid grid(pts, model.max_range());
+  LinkLayer layer;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u < pts.size(); ++u) {
+    for (NodeId v : grid.within_radius(u)) {
+      if (u >= v) continue;
+      const double p =
+          model.delivery_probability_sq(distance_sq(pts[u], pts[v]));
+      if (p <= 0.0 || p < min_probability) continue;
+      edges.emplace_back(u, v);
+      layer.links_.push_back(Link{u, v, p});
+    }
+  }
+  // within_radius returns ascending ids for ascending u, so links_ is
+  // already sorted by (u, v).
+  layer.graph_ = Graph::from_edges(pts.size(), edges);
+  return layer;
+}
+
+LinkLayer with_uniform_loss(const LinkLayer& links, double loss) {
+  KHOP_REQUIRE(loss >= 0.0 && loss < 1.0, "loss must be in [0, 1)");
+  LinkLayer out = links;
+  for (Link& l : out.links_) l.probability *= 1.0 - loss;
+  return out;
+}
+
+Graph sample_realized_graph(const LinkLayer& links, Rng& rng) {
+  std::vector<std::pair<NodeId, NodeId>> kept;
+  for (const Link& l : links.links()) {
+    if (rng.uniform() < l.probability) kept.emplace_back(l.u, l.v);
+  }
+  return Graph::from_edges(links.num_nodes(), kept);
+}
+
+}  // namespace khop

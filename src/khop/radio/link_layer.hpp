@@ -1,0 +1,75 @@
+/// \file link_layer.hpp
+/// The link layer: positions + a LinkModel evaluated into (a) the
+/// connectivity graph the centralized algorithms run on and (b) per-link
+/// delivery probabilities the simulator draws against. Construction is
+/// near-linear via the spatial grid (cell size = the model's max range).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "khop/common/rng.hpp"
+#include "khop/graph/graph.hpp"
+#include "khop/radio/link_model.hpp"
+
+namespace khop {
+
+/// One undirected link with its single-attempt delivery probability.
+struct Link {
+  NodeId u = kInvalidNode;  ///< min endpoint
+  NodeId v = kInvalidNode;  ///< max endpoint
+  double probability = 0.0; ///< in (0, 1]
+};
+
+/// Immutable evaluated link set over one position snapshot.
+class LinkLayer {
+ public:
+  LinkLayer() = default;
+
+  /// Graph over all links (the "possible links" topology). With
+  /// UnitDiskModel this is exactly the legacy unit-disk graph.
+  const Graph& graph() const noexcept { return graph_; }
+
+  /// Links as (min, max, p) sorted lexicographically by endpoints.
+  std::span<const Link> links() const noexcept { return links_; }
+
+  /// Delivery probability of {u, v}; 0 when the link does not exist.
+  /// O(log m) via binary search over the sorted link list (m = link count).
+  double probability(NodeId u, NodeId v) const;
+
+  std::size_t num_nodes() const noexcept { return graph_.num_nodes(); }
+
+  /// Mean delivery probability over all links (1.0 for a unit disk;
+  /// 0 for an empty link set).
+  double mean_probability() const noexcept;
+
+ private:
+  friend LinkLayer build_link_layer(const std::vector<Point2>&,
+                                    const LinkModel&, double);
+  friend LinkLayer with_uniform_loss(const LinkLayer&, double);
+
+  Graph graph_;
+  std::vector<Link> links_;
+};
+
+/// Evaluates \p model over every candidate pair within its max range.
+/// A link exists iff its probability is positive and >= \p min_probability.
+/// Near-linear: candidates come from a spatial grid, not an all-pairs scan.
+/// \pre pts non-empty
+LinkLayer build_link_layer(const std::vector<Point2>& pts,
+                           const LinkModel& model,
+                           double min_probability = 0.0);
+
+/// Copy of \p links with every delivery probability scaled by (1 - loss):
+/// a model-independent "ambient loss rate" knob (interference, duty cycling)
+/// used by the lossy sweeps. The link set itself is unchanged.
+/// \pre loss in [0, 1)
+LinkLayer with_uniform_loss(const LinkLayer& links, double loss);
+
+/// Samples a realized topology: each link is kept independently with its
+/// delivery probability. Deterministic in (links, rng state); links are
+/// drawn in their sorted order. Used to measure backbone survival under
+/// link failures.
+Graph sample_realized_graph(const LinkLayer& links, Rng& rng);
+
+}  // namespace khop

@@ -1,0 +1,78 @@
+#include "khop/radio/link_model.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "khop/common/assert.hpp"
+
+namespace khop {
+
+UnitDiskModel::UnitDiskModel(double radius) : radius_(radius) {
+  KHOP_REQUIRE(radius > 0.0, "radius must be positive");
+}
+
+double UnitDiskModel::delivery_probability_sq(double dist_sq) const noexcept {
+  return dist_sq <= radius_ * radius_ ? 1.0 : 0.0;
+}
+
+QuasiUnitDiskModel::QuasiUnitDiskModel(double r_min, double r_max,
+                                       double p_transition)
+    : r_min_(r_min), r_max_(r_max), p_transition_(p_transition) {
+  KHOP_REQUIRE(r_min > 0.0, "r_min must be positive");
+  KHOP_REQUIRE(r_max >= r_min, "r_max must be >= r_min");
+  KHOP_REQUIRE(p_transition > 0.0 && p_transition <= 1.0,
+               "p_transition must be in (0, 1]");
+}
+
+double QuasiUnitDiskModel::delivery_probability_sq(
+    double dist_sq) const noexcept {
+  // Certain / impossible zones use the same squared comparisons as the
+  // unit-disk builder, so r_min == r_max is bit-exactly a unit disk.
+  if (dist_sq <= r_min_ * r_min_) return 1.0;
+  if (dist_sq > r_max_ * r_max_) return 0.0;
+  const double d = std::sqrt(dist_sq);
+  return p_transition_ * (r_max_ - d) / (r_max_ - r_min_);
+}
+
+LogNormalShadowingModel::LogNormalShadowingModel(const Params& params)
+    : params_(params) {
+  KHOP_REQUIRE(params.r_half > 0.0, "r_half must be positive");
+  KHOP_REQUIRE(params.path_loss_exponent > 0.0,
+               "path_loss_exponent must be positive");
+  KHOP_REQUIRE(params.shadowing_sigma_db > 0.0,
+               "shadowing_sigma_db must be positive");
+  KHOP_REQUIRE(
+      params.cutoff_probability > 0.0 && params.cutoff_probability < 0.5,
+      "cutoff_probability must be in (0, 0.5)");
+
+  // p(d) is strictly decreasing, p(r_half) = 0.5 > cutoff: bisect for the
+  // distance where p(d) = cutoff. Done once; the loop converges to double
+  // precision in < 200 halvings.
+  double lo = params.r_half;
+  double hi = params.r_half * 2.0;
+  while (delivery_probability_sq(hi * hi) > params.cutoff_probability) {
+    hi *= 2.0;
+  }
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (delivery_probability_sq(mid * mid) > params.cutoff_probability) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  max_range_ = hi;  // first distance at or below the cutoff
+}
+
+double LogNormalShadowingModel::delivery_probability_sq(
+    double dist_sq) const noexcept {
+  if (dist_sq <= 0.0) return 1.0;
+  const double d = std::sqrt(dist_sq);
+  const double x = 10.0 * params_.path_loss_exponent *
+                   std::log10(d / params_.r_half) /
+                   (params_.shadowing_sigma_db * std::numbers::sqrt2);
+  const double p = 0.5 * std::erfc(x);
+  return p < params_.cutoff_probability ? 0.0 : p;
+}
+
+}  // namespace khop

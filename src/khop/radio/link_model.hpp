@@ -1,0 +1,129 @@
+/// \file link_model.hpp
+/// Pluggable radio link models. The paper assumes a perfect unit-disk radio
+/// ("all nodes have the same transmission range... an ideal MAC layer
+/// protocol", section 4); a LinkModel generalizes that to a per-link packet
+/// delivery probability as a function of distance, with the unit disk as a
+/// bit-exact special case. The related-work stress tests ((k,m)-connectivity
+/// under unreliable nodes, multi-hop clustering under realistic radios) all
+/// reduce to choosing a model here.
+#pragma once
+
+#include <string_view>
+
+#include "khop/geom/point.hpp"
+
+namespace khop {
+
+/// Canonical model names, defined once: LinkModel::name() and the
+/// experiment layer's RadioKind mapping both return these.
+inline constexpr std::string_view kUnitDiskModelName = "unit-disk";
+inline constexpr std::string_view kQuasiUnitDiskModelName = "quasi-udg";
+inline constexpr std::string_view kLogNormalModelName = "log-normal";
+
+/// Distance-based per-link delivery probability.
+///
+/// The probability is parameterized by the *squared* link length so that the
+/// unit-disk case uses the exact comparison (`dist_sq <= r*r`) the spatial
+/// grid and `build_unit_disk_graph` use — this is what makes `UnitDiskModel`
+/// reproduce the legacy pipeline bit-for-bit, floating-point boundary cases
+/// included.
+class LinkModel {
+ public:
+  virtual ~LinkModel() = default;
+
+  /// Probability in [0, 1] that a single transmission attempt crosses a link
+  /// of squared length \p dist_sq.
+  virtual double delivery_probability_sq(double dist_sq) const noexcept = 0;
+
+  /// Distance beyond which delivery_probability_sq is 0 (or below the
+  /// model's cutoff). Bounds the spatial-grid candidate query when building
+  /// a LinkLayer; must be positive.
+  virtual double max_range() const noexcept = 0;
+
+  /// Human-readable model name for tables and CSV artifacts.
+  virtual std::string_view name() const noexcept = 0;
+
+  /// Convenience: probability between two positions.
+  double delivery_probability(const Point2& a, const Point2& b) const noexcept {
+    return delivery_probability_sq(distance_sq(a, b));
+  }
+};
+
+/// The paper's ideal radio: delivery certain within `radius`, impossible
+/// beyond. `build_link_layer` with this model yields exactly the graph of
+/// `build_unit_disk_graph(pts, radius)`.
+class UnitDiskModel final : public LinkModel {
+ public:
+  /// \pre radius > 0
+  explicit UnitDiskModel(double radius);
+
+  double delivery_probability_sq(double dist_sq) const noexcept override;
+  double max_range() const noexcept override { return radius_; }
+  std::string_view name() const noexcept override {
+    return kUnitDiskModelName;
+  }
+
+  double radius() const noexcept { return radius_; }
+
+ private:
+  double radius_;
+};
+
+/// Kuhn-style quasi unit disk: links are certain up to r_min, impossible
+/// beyond r_max, and degrade linearly in between (scaled by p_transition,
+/// the delivery probability just outside r_min). r_min == r_max collapses to
+/// UnitDiskModel(r_min) exactly.
+class QuasiUnitDiskModel final : public LinkModel {
+ public:
+  /// \pre 0 < r_min <= r_max, p_transition in (0, 1]
+  QuasiUnitDiskModel(double r_min, double r_max, double p_transition = 1.0);
+
+  double delivery_probability_sq(double dist_sq) const noexcept override;
+  double max_range() const noexcept override { return r_max_; }
+  std::string_view name() const noexcept override {
+    return kQuasiUnitDiskModelName;
+  }
+
+  double r_min() const noexcept { return r_min_; }
+  double r_max() const noexcept { return r_max_; }
+
+ private:
+  double r_min_;
+  double r_max_;
+  double p_transition_;
+};
+
+/// Log-normal shadowing: the received power at distance d is Gaussian in dB
+/// around a path-loss mean, so the packet reception ratio is
+///
+///   p(d) = 1/2 erfc( 10 n log10(d / r_half) / (sigma sqrt 2) )
+///
+/// with p(r_half) = 1/2, p -> 1 as d -> 0 and p -> 0 as d -> infinity. Links
+/// with p below `cutoff_probability` are treated as out of range.
+class LogNormalShadowingModel final : public LinkModel {
+ public:
+  struct Params {
+    double r_half = 25.0;             ///< distance with 50% delivery
+    double path_loss_exponent = 3.0;  ///< n; higher = sharper falloff
+    double shadowing_sigma_db = 4.0;  ///< sigma; higher = longer gray zone
+    double cutoff_probability = 0.01; ///< below this a link does not exist
+  };
+
+  /// \pre r_half > 0, path_loss_exponent > 0, shadowing_sigma_db > 0,
+  ///      cutoff_probability in (0, 0.5)
+  explicit LogNormalShadowingModel(const Params& params);
+
+  double delivery_probability_sq(double dist_sq) const noexcept override;
+  double max_range() const noexcept override { return max_range_; }
+  std::string_view name() const noexcept override {
+    return kLogNormalModelName;
+  }
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_;
+  double max_range_ = 0.0;  ///< solved from cutoff_probability at build time
+};
+
+}  // namespace khop

@@ -1,0 +1,80 @@
+#include "khop/radio/lossy_flood.hpp"
+
+#include <memory>
+
+#include "khop/common/assert.hpp"
+#include "khop/radio/delivery.hpp"
+#include "khop/sim/engine.hpp"
+
+namespace khop {
+
+namespace {
+
+/// Relays the payload once upon first reception (if a forwarder).
+class LossyFloodAgent final : public NodeAgent {
+ public:
+  LossyFloodAgent(bool is_source, bool is_forwarder)
+      : is_source_(is_source), is_forwarder_(is_forwarder) {}
+
+  void on_start(NodeContext& ctx) override {
+    if (is_source_) {
+      received_ = true;
+      ctx.broadcast(kFloodType, {});
+    }
+  }
+
+  void on_message(NodeContext& ctx, const Message& /*msg*/) override {
+    if (received_) return;
+    received_ = true;
+    if (is_forwarder_) ctx.broadcast(kFloodType, {});
+  }
+
+  bool received() const noexcept { return received_; }
+
+  static constexpr std::uint16_t kFloodType = 1;
+
+ private:
+  bool is_source_;
+  bool is_forwarder_;
+  bool received_ = false;
+};
+
+}  // namespace
+
+LossyFloodResult lossy_flood(const LinkLayer& links, NodeId source,
+                             const LossyFloodOptions& opts) {
+  const std::size_t n = links.num_nodes();
+  KHOP_REQUIRE(source < n, "source out of range");
+  KHOP_REQUIRE(opts.forwarders.empty() || opts.forwarders.size() == n,
+               "forwarder mask size mismatch");
+
+  LinkDelivery delivery(links, opts.seed);
+  DeliveryOptions delivery_opts;
+  delivery_opts.model = &delivery;
+  delivery_opts.retry_budget = opts.retry_budget;
+
+  SyncEngine engine(
+      links.graph(),
+      [&](NodeId v) {
+        const bool forwards = opts.forwarders.empty() || opts.forwarders[v];
+        return std::make_unique<LossyFloodAgent>(v == source, forwards);
+      },
+      delivery_opts);
+
+  const std::size_t cap = opts.max_rounds != 0 ? opts.max_rounds : n + 8;
+  LossyFloodResult r;
+  r.quiescent = engine.run(cap);
+  for (NodeId v = 0; v < n; ++v) {
+    if (dynamic_cast<const LossyFloodAgent&>(engine.agent(v)).received()) {
+      ++r.delivered;
+    }
+  }
+  r.delivery_ratio =
+      n == 0 ? 0.0 : static_cast<double>(r.delivered) / static_cast<double>(n);
+  r.rounds = engine.round();
+  r.complete = r.delivered == n;
+  r.stats = engine.stats();
+  return r;
+}
+
+}  // namespace khop

@@ -1,0 +1,12 @@
+#include "khop/radio/network_link.hpp"
+
+namespace khop {
+
+LinkLayer rebuild_with_model(AdHocNetwork& net, const LinkModel& model,
+                             double min_probability) {
+  LinkLayer layer = build_link_layer(net.positions, model, min_probability);
+  net.graph = layer.graph();
+  return layer;
+}
+
+}  // namespace khop

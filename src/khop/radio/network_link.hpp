@@ -1,0 +1,20 @@
+/// \file network_link.hpp
+/// Glue between AdHocNetwork and the radio subsystem. Lives on the radio
+/// side so khop/net stays radio-agnostic: only callers that opt into link
+/// models pull in this header.
+#pragma once
+
+#include "khop/net/network.hpp"
+#include "khop/radio/link_layer.hpp"
+
+namespace khop {
+
+/// Re-evaluates \p model over net.positions and installs the resulting
+/// possible-links topology as net.graph. Bit-identical to
+/// net.rebuild_graph() when the model is UnitDiskModel(net.radius).
+/// Returns the evaluated link layer so callers can drive delivery-aware
+/// simulation from it.
+LinkLayer rebuild_with_model(AdHocNetwork& net, const LinkModel& model,
+                             double min_probability = 0.0);
+
+}  // namespace khop

@@ -31,8 +31,9 @@ void NodeContext::send(NodeId to, std::uint16_t type,
   engine_->enqueue(id_, to, type, data);
 }
 
-SyncEngine::SyncEngine(const Graph& g, const AgentFactory& factory)
-    : graph_(&g), pending_(g.num_nodes()) {
+SyncEngine::SyncEngine(const Graph& g, const AgentFactory& factory,
+                       const DeliveryOptions& delivery)
+    : graph_(&g), delivery_(delivery), pending_(g.num_nodes()) {
   KHOP_REQUIRE(static_cast<bool>(factory), "agent factory required");
   agents_.reserve(g.num_nodes());
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
@@ -43,6 +44,18 @@ SyncEngine::SyncEngine(const Graph& g, const AgentFactory& factory)
 
 void SyncEngine::enqueue(NodeId from, NodeId to, std::uint16_t type,
                          const std::vector<std::int64_t>& data) {
+  if (delivery_.model != nullptr) {
+    bool delivered = delivery_.model->attempt(from, to);
+    for (std::size_t retry = 0; !delivered && retry < delivery_.retry_budget;
+         ++retry) {
+      ++stats_.retransmissions;
+      delivered = delivery_.model->attempt(from, to);
+    }
+    if (!delivered) {
+      ++stats_.drops;
+      return;
+    }
+  }
   pending_[to].push_back(Message{from, type, data});
   ++pending_count_;
 }

@@ -24,6 +24,31 @@ namespace khop {
 
 class SyncEngine;
 
+/// Decides the fate of one per-link transmission attempt. The engine calls
+/// attempt() in its deterministic enqueue order (sender processing order,
+/// then ascending-neighbor order for broadcasts), so implementations backed
+/// by a seeded rng make a lossy run a pure function of (topology, protocol,
+/// seed). Concrete radio-driven implementations live in khop/radio/.
+class DeliveryModel {
+ public:
+  virtual ~DeliveryModel() = default;
+
+  /// True iff a single transmission attempt from -> to is delivered.
+  /// Retries call it again, one call per attempt.
+  virtual bool attempt(NodeId from, NodeId to) = 0;
+};
+
+/// Lossy-delivery configuration for a SyncEngine.
+struct DeliveryOptions {
+  /// Non-owning; must outlive the engine. nullptr = the paper's ideal MAC
+  /// (the legacy code path, bit-for-bit).
+  DeliveryModel* model = nullptr;
+  /// Extra attempts per dropped per-link delivery (ARQ-style link retries).
+  /// Each retry is recorded in SimStats::retransmissions; a delivery that
+  /// still fails after the budget counts once in SimStats::drops.
+  std::size_t retry_budget = 0;
+};
+
 /// Per-node handle the engine passes to agent callbacks.
 class NodeContext {
  public:
@@ -69,7 +94,9 @@ class SyncEngine {
  public:
   using AgentFactory = std::function<std::unique_ptr<NodeAgent>(NodeId)>;
 
-  SyncEngine(const Graph& g, const AgentFactory& factory);
+  /// \p delivery configures lossy links; the default is the ideal MAC.
+  SyncEngine(const Graph& g, const AgentFactory& factory,
+             const DeliveryOptions& delivery = {});
 
   /// Runs until quiescence (all agents finished, nothing in flight) or
   /// \p max_rounds. Returns true iff it reached quiescence.
@@ -87,6 +114,7 @@ class SyncEngine {
   friend class NodeContext;
 
   const Graph* graph_;
+  DeliveryOptions delivery_;
   std::vector<std::unique_ptr<NodeAgent>> agents_;
   /// Messages to deliver next round, per destination.
   std::vector<std::vector<Message>> pending_;

@@ -21,12 +21,17 @@ struct Message {
 
 /// Protocol cost accounting. A local broadcast is one radio transmission
 /// heard by deg(sender) receivers; an addressed send is one transmission
-/// with a single receiver (ideal-MAC model, as assumed by the paper).
+/// with a single receiver (ideal-MAC model, as assumed by the paper). Under
+/// a lossy DeliveryModel the per-link deliveries additionally record drops
+/// and link-layer retries; both stay 0 on the ideal MAC.
 struct SimStats {
   std::size_t rounds = 0;
   std::size_t transmissions = 0;   ///< radio sends
   std::size_t receptions = 0;      ///< message deliveries
   std::size_t payload_words = 0;   ///< sum of data words transmitted
+  std::size_t drops = 0;           ///< per-link deliveries lost for good
+                                   ///< (after exhausting any retry budget)
+  std::size_t retransmissions = 0; ///< link-layer retries attempted
 };
 
 }  // namespace khop

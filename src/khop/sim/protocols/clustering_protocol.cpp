@@ -166,12 +166,16 @@ void DistributedClusteringAgent::on_round_end(NodeContext& ctx) {
 
 Clustering run_distributed_clustering(const Graph& g, Hops k,
                                       const std::vector<PriorityKey>& prio,
-                                      AffiliationRule rule, SimStats* stats) {
+                                      AffiliationRule rule, SimStats* stats,
+                                      const DeliveryOptions& delivery) {
   KHOP_REQUIRE(prio.size() == g.num_nodes(), "one priority per node");
 
-  SyncEngine engine(g, [&](NodeId v) {
-    return std::make_unique<DistributedClusteringAgent>(k, prio[v], rule);
-  });
+  SyncEngine engine(
+      g,
+      [&](NodeId v) {
+        return std::make_unique<DistributedClusteringAgent>(k, prio[v], rule);
+      },
+      delivery);
   // Worst case: one new head per iteration, n iterations of 3k rounds.
   const std::size_t max_rounds = 3 * static_cast<std::size_t>(k) *
                                      (g.num_nodes() + 2) +

@@ -81,9 +81,15 @@ class DistributedClusteringAgent : public NodeAgent {
 
 /// Runs the protocol over \p g and extracts the resulting Clustering.
 /// \p stats (optional) receives the engine's message accounting.
+/// \p delivery (optional) runs the election over lossy links; the default
+/// ideal MAC reproduces the legacy behaviour bit-for-bit. Note the protocol
+/// has no application-level recovery: under heavy loss it may fail to
+/// terminate within the round budget (KHOP_ASSERT) — pair lossy runs with a
+/// retry budget.
 Clustering run_distributed_clustering(const Graph& g, Hops k,
                                       const std::vector<PriorityKey>& prio,
                                       AffiliationRule rule,
-                                      SimStats* stats = nullptr);
+                                      SimStats* stats = nullptr,
+                                      const DeliveryOptions& delivery = {});
 
 }  // namespace khop

@@ -81,6 +81,17 @@ TEST(Calibration, MeasuredMeanDegreeOnKnownLayout) {
   EXPECT_DOUBLE_EQ(measured_mean_degree(pts, 2.5), 2.0);
 }
 
+TEST(Calibration, MeasuredMeanDegreeSafeForDegenerateRadii) {
+  // A radius tiny relative to the point spread must not size a
+  // (span/r)^2-cell grid (the SpatialGrid caps its cell count).
+  Rng rng(99);
+  const std::vector<Point2> pts = place_uniform(50, Field{100.0}, rng);
+  EXPECT_DOUBLE_EQ(measured_mean_degree(pts, 1e-7), 0.0);
+  // Duplicate points still count as linked at any positive radius.
+  const std::vector<Point2> twins{{5, 5}, {5, 5}, {90, 90}};
+  EXPECT_DOUBLE_EQ(measured_mean_degree(twins, 1e-7), 2.0 / 3.0);
+}
+
 TEST(Calibration, CalibratedRadiusHitsTargetDegree) {
   const Field f{100.0};
   const std::size_t n = 100;

@@ -123,6 +123,41 @@ TEST(SpatialGrid, WithinRadiusSortedAndExcludesSelf) {
   EXPECT_EQ(near0[1], 3u);
 }
 
+TEST(SpatialGrid, CellCountCappedForTinyRadius) {
+  // A radius of 1e-8 over a 100-unit spread would naively allocate ~1e20
+  // cells; the grid must cap its cell count (enlarged cells, same answers).
+  Rng rng(78);
+  std::vector<Point2> pts;
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+  }
+  const Graph g = build_unit_disk_graph(pts, 1e-8);
+  EXPECT_EQ(g.num_edges(), 0u);
+  const SpatialGrid grid(pts, 1e-8);
+  EXPECT_EQ(grid.count_within_radius(0), 0u);
+
+  // Near-collinear spread: the flat dimension floors at one row, so the
+  // cap must come from enlarging cells along the long axis alone.
+  std::vector<Point2> line;
+  for (int i = 0; i < 1000; ++i) {
+    line.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 1e-6)});
+  }
+  const Graph lg = build_unit_disk_graph(line, 1e-15);
+  EXPECT_EQ(lg.num_edges(), 0u);
+}
+
+TEST(SpatialGrid, CountMatchesListLength) {
+  Rng rng(79);
+  std::vector<Point2> pts;
+  for (int i = 0; i < 150; ++i) {
+    pts.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+  }
+  const SpatialGrid grid(pts, 12.0);
+  for (NodeId u = 0; u < pts.size(); ++u) {
+    EXPECT_EQ(grid.count_within_radius(u), grid.within_radius(u).size());
+  }
+}
+
 TEST(InducedSubgraph, KeepsInternalEdgesOnly) {
   const Graph g = Graph::from_edges(
       5, EdgeList{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {1, 3}});

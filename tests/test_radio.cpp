@@ -1,0 +1,193 @@
+// Unit tests for the radio link-model subsystem: the LinkModel ladder and
+// the LinkLayer built from it. The load-bearing property is the regression
+// guard: UnitDiskModel (and QuasiUnitDiskModel with r_min == r_max) must
+// reproduce the legacy unit-disk graph bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "khop/common/error.hpp"
+#include "khop/geom/placement.hpp"
+#include "khop/graph/spatial_grid.hpp"
+#include "khop/net/generator.hpp"
+#include "khop/radio/link_layer.hpp"
+#include "khop/radio/link_model.hpp"
+#include "khop/radio/network_link.hpp"
+
+namespace khop {
+namespace {
+
+TEST(UnitDiskModel, StepFunctionAtRadius) {
+  const UnitDiskModel m(10.0);
+  EXPECT_EQ(m.delivery_probability_sq(0.0), 1.0);
+  EXPECT_EQ(m.delivery_probability_sq(100.0), 1.0);  // boundary inclusive
+  EXPECT_EQ(m.delivery_probability_sq(100.0001), 0.0);
+  EXPECT_EQ(m.max_range(), 10.0);
+  EXPECT_THROW(UnitDiskModel(0.0), InvalidArgument);
+}
+
+TEST(QuasiUnitDiskModel, CertainInnerZoneLinearRamp) {
+  const QuasiUnitDiskModel m(5.0, 10.0);
+  EXPECT_EQ(m.delivery_probability_sq(25.0), 1.0);   // inner boundary
+  EXPECT_EQ(m.delivery_probability_sq(100.01), 0.0); // beyond r_max
+  const double mid = m.delivery_probability_sq(7.5 * 7.5);
+  EXPECT_NEAR(mid, 0.5, 1e-12);
+  // Monotone non-increasing through the transition zone.
+  double prev = 1.0;
+  for (double d = 5.0; d <= 10.0; d += 0.25) {
+    const double p = m.delivery_probability_sq(d * d);
+    EXPECT_LE(p, prev);
+    prev = p;
+  }
+  EXPECT_THROW(QuasiUnitDiskModel(10.0, 5.0), InvalidArgument);
+  EXPECT_THROW(QuasiUnitDiskModel(5.0, 10.0, 0.0), InvalidArgument);
+}
+
+TEST(QuasiUnitDiskModel, DegeneratesToUnitDisk) {
+  const QuasiUnitDiskModel q(10.0, 10.0);
+  const UnitDiskModel u(10.0);
+  for (const double d2 : {0.0, 50.0, 99.999, 100.0, 100.0001, 400.0}) {
+    EXPECT_EQ(q.delivery_probability_sq(d2), u.delivery_probability_sq(d2))
+        << "d2 = " << d2;
+  }
+}
+
+TEST(LogNormalShadowingModel, HalfDeliveryAtRHalfAndMonotone) {
+  LogNormalShadowingModel::Params params;
+  params.r_half = 20.0;
+  const LogNormalShadowingModel m(params);
+  EXPECT_NEAR(m.delivery_probability_sq(400.0), 0.5, 1e-12);
+  EXPECT_EQ(m.delivery_probability_sq(0.0), 1.0);
+  double prev = 1.0;
+  for (double d = 1.0; d < 2.0 * m.max_range(); d *= 1.3) {
+    const double p = m.delivery_probability_sq(d * d);
+    EXPECT_LE(p, prev) << "d = " << d;
+    prev = p;
+  }
+  // The solved max range brackets the cutoff.
+  const double r = m.max_range();
+  EXPECT_GT(r, params.r_half);
+  EXPECT_GE(m.delivery_probability_sq(0.999 * r * 0.999 * r),
+            params.cutoff_probability);
+  EXPECT_EQ(m.delivery_probability_sq(1.001 * r * 1.001 * r), 0.0);
+}
+
+std::vector<Point2> seed_placement(std::uint64_t seed, std::size_t n = 150) {
+  Rng rng(seed);
+  return place_uniform(n, Field{100.0}, rng);
+}
+
+TEST(LinkLayer, UnitDiskReproducesLegacyGraphBitForBit) {
+  for (const std::uint64_t seed : {401u, 402u, 403u, 404u}) {
+    const std::vector<Point2> pts = seed_placement(seed);
+    const double radius = 13.0;
+    const Graph legacy = build_unit_disk_graph(pts, radius);
+    const LinkLayer layer = build_link_layer(pts, UnitDiskModel(radius));
+    ASSERT_EQ(layer.graph().edge_list(), legacy.edge_list())
+        << "seed " << seed;
+    for (const Link& l : layer.links()) {
+      EXPECT_EQ(l.probability, 1.0);
+      EXPECT_EQ(layer.probability(l.u, l.v), 1.0);
+      EXPECT_EQ(layer.probability(l.v, l.u), 1.0);
+    }
+  }
+}
+
+TEST(LinkLayer, DegenerateQudgReproducesLegacyGraphBitForBit) {
+  for (const std::uint64_t seed : {411u, 412u, 413u, 414u}) {
+    const std::vector<Point2> pts = seed_placement(seed);
+    const double radius = 13.0;
+    const Graph legacy = build_unit_disk_graph(pts, radius);
+    const LinkLayer layer =
+        build_link_layer(pts, QuasiUnitDiskModel(radius, radius));
+    ASSERT_EQ(layer.graph().edge_list(), legacy.edge_list())
+        << "seed " << seed;
+  }
+}
+
+TEST(LinkLayer, ProbabilityLookup) {
+  // Three collinear points: {0,1} certain, {1,2} in the gray zone, {0,2}
+  // out of range.
+  const std::vector<Point2> pts = {{0.0, 0.0}, {4.0, 0.0}, {11.0, 0.0}};
+  const QuasiUnitDiskModel m(5.0, 10.0);
+  const LinkLayer layer = build_link_layer(pts, m);
+  EXPECT_EQ(layer.probability(0, 1), 1.0);
+  EXPECT_NEAR(layer.probability(1, 2), (10.0 - 7.0) / 5.0, 1e-12);
+  EXPECT_EQ(layer.probability(0, 2), 0.0);
+  EXPECT_EQ(layer.probability(1, 1), 0.0);
+  EXPECT_EQ(layer.graph().num_edges(), 2u);
+}
+
+TEST(LinkLayer, MinProbabilityPrunesWeakLinks) {
+  const std::vector<Point2> pts = {{0.0, 0.0}, {4.0, 0.0}, {9.5, 0.0}};
+  const QuasiUnitDiskModel m(5.0, 10.0);
+  // {1,2} has p = (10 - 5.5)/5 = 0.9; {0,2} has p = (10 - 9.5)/5 = 0.1.
+  const LinkLayer all = build_link_layer(pts, m);
+  EXPECT_EQ(all.graph().num_edges(), 3u);
+  const LinkLayer pruned = build_link_layer(pts, m, 0.5);
+  EXPECT_EQ(pruned.graph().num_edges(), 2u);
+  EXPECT_EQ(pruned.probability(0, 2), 0.0);
+}
+
+TEST(LinkLayer, UniformLossScalesProbabilities) {
+  const std::vector<Point2> pts = seed_placement(421, 60);
+  const LinkLayer layer = build_link_layer(pts, UnitDiskModel(15.0));
+  const LinkLayer lossy = with_uniform_loss(layer, 0.25);
+  ASSERT_EQ(lossy.links().size(), layer.links().size());
+  EXPECT_EQ(lossy.graph().edge_list(), layer.graph().edge_list());
+  for (std::size_t i = 0; i < layer.links().size(); ++i) {
+    EXPECT_DOUBLE_EQ(lossy.links()[i].probability,
+                     0.75 * layer.links()[i].probability);
+  }
+  EXPECT_THROW(with_uniform_loss(layer, 1.0), InvalidArgument);
+}
+
+TEST(LinkLayer, SampleRealizedGraphDeterministicAndComplete) {
+  const std::vector<Point2> pts = seed_placement(431, 100);
+  const LinkLayer certain = build_link_layer(pts, UnitDiskModel(13.0));
+
+  // All-certain links: every sample is the full graph.
+  Rng rng_a(5);
+  EXPECT_EQ(sample_realized_graph(certain, rng_a).edge_list(),
+            certain.graph().edge_list());
+
+  // Lossy links: same seed => same sample; the sample is a subgraph.
+  const LinkLayer lossy = with_uniform_loss(certain, 0.5);
+  Rng rng_b(5), rng_c(5);
+  const Graph s1 = sample_realized_graph(lossy, rng_b);
+  const Graph s2 = sample_realized_graph(lossy, rng_c);
+  EXPECT_EQ(s1.edge_list(), s2.edge_list());
+  EXPECT_LT(s1.num_edges(), certain.graph().num_edges());
+  for (const auto& [u, v] : s1.edge_list()) {
+    EXPECT_TRUE(certain.graph().has_edge(u, v));
+  }
+}
+
+TEST(AdHocNetwork, LinkModelRebuildMatchesLegacyRebuild) {
+  GeneratorConfig cfg;
+  cfg.num_nodes = 120;
+  Rng rng(441);
+  AdHocNetwork net = generate_network(cfg, rng);
+  const Graph legacy = net.graph;
+
+  const LinkLayer layer = rebuild_with_model(net, UnitDiskModel(net.radius));
+  EXPECT_EQ(net.graph.edge_list(), legacy.edge_list());
+  EXPECT_EQ(layer.graph().edge_list(), legacy.edge_list());
+  EXPECT_DOUBLE_EQ(layer.mean_probability(), 1.0);
+
+  // Log-normal at r_half = radius keeps every unit-disk link (p >= 0.5
+  // inside the radius) and adds gray-zone links beyond it.
+  LogNormalShadowingModel::Params params;
+  params.r_half = net.radius;
+  const LinkLayer shadow =
+      rebuild_with_model(net, LogNormalShadowingModel(params));
+  EXPECT_GE(shadow.graph().num_edges(), legacy.num_edges());
+  for (const auto& [u, v] : legacy.edge_list()) {
+    EXPECT_TRUE(net.graph.has_edge(u, v));
+  }
+  net.rebuild_graph();
+  EXPECT_EQ(net.graph.edge_list(), legacy.edge_list());
+}
+
+}  // namespace
+}  // namespace khop
