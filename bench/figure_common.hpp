@@ -1,15 +1,15 @@
 /// \file figure_common.hpp
 /// Shared machinery for the figure-reproduction benches: a paired trial that
 /// evaluates all five pipelines on the same random topology (exactly how the
-/// paper compares them), plus table plumbing.
+/// paper compares them), plus table plumbing. Timing/artifact plumbing lives
+/// in harness/harness.hpp.
 #pragma once
 
 #include <cstdint>
-#include <cstdlib>
-#include <fstream>
 #include <iostream>
 #include <vector>
 
+#include "harness/harness.hpp"
 #include "khop/cds/cds.hpp"
 #include "khop/common/error.hpp"
 #include "khop/exp/experiment.hpp"
@@ -26,20 +26,22 @@ inline constexpr std::size_t kPairedMetricCount =
 
 /// Runs one topology through every pipeline. Validation is on: any paper
 /// invariant violation aborts the bench loudly rather than producing bogus
-/// series.
+/// series. The clustering/backbone hot paths reuse \p ws across trials.
 inline std::vector<double> paired_trial(std::size_t n, double radius, Hops k,
-                                        Rng& rng) {
+                                        Rng& rng, Workspace& ws) {
   GeneratorConfig gen;
   gen.num_nodes = n;
   gen.explicit_radius = radius;
   const AdHocNetwork net = generate_network(gen, rng);
-  const Clustering c = khop_clustering(net.graph, k);
+  const Clustering c = khop_clustering(
+      net.graph, k, make_priorities(net.graph, PriorityRule::kLowestId),
+      AffiliationRule::kIdBased, ws);
 
   std::vector<double> metrics;
   metrics.reserve(kPairedMetricCount);
   metrics.push_back(static_cast<double>(c.heads.size()));
   for (const Pipeline p : kAllPipelines) {
-    const Backbone b = build_backbone(net.graph, c, p);
+    const Backbone b = build_backbone(net.graph, c, p, ws);
     const std::string err = validate_k_cds(net.graph, c, b);
     if (!err.empty()) {
       throw InvariantViolation(std::string(pipeline_name(p)) + ": " + err);
@@ -77,8 +79,8 @@ inline PairedPoint run_paired_point(ThreadPool& pool, std::size_t n,
 
   const TrialSummary s = run_trials(
       pool, paper_policy(), Rng(seed), kPairedMetricCount,
-      [n, radius, k](Rng& rng, std::size_t) {
-        return paired_trial(n, radius, k, rng);
+      [n, radius, k](Rng& rng, std::size_t, Workspace& ws) {
+        return paired_trial(n, radius, k, rng, ws);
       });
 
   PairedPoint p;
@@ -94,15 +96,6 @@ inline PairedPoint run_paired_point(ThreadPool& pool, std::size_t n,
 /// The paper's x axis: N from 50 to 200.
 inline std::vector<std::size_t> paper_node_counts() {
   return {50, 75, 100, 125, 150, 175, 200};
-}
-
-/// Writes a table as CSV into $KHOP_CSV_DIR/<name>.csv when that environment
-/// variable is set (plot-ready artifacts next to the printed tables).
-inline void maybe_write_csv(const std::string& name, const TextTable& t) {
-  const char* dir = std::getenv("KHOP_CSV_DIR");
-  if (dir == nullptr) return;
-  std::ofstream out(std::string(dir) + "/" + name + ".csv");
-  if (out) out << t.to_csv();
 }
 
 /// Prints one figure panel (CDS size vs N for the five pipelines).

@@ -1,0 +1,89 @@
+/// \file harness.hpp
+/// Perf-regression bench harness: times named kernels and emits a
+/// schema-versioned JSON trajectory (`BENCH_*.json`) that successive PRs
+/// report against. Also home of the shared bench artifact plumbing that used
+/// to be copy-pasted via figure_common.hpp.
+///
+/// JSON schema (khop.bench, version 1):
+/// {
+///   "schema": "khop.bench",
+///   "schema_version": 1,
+///   "label": "<trajectory label, e.g. PR3>",
+///   "kernels": [
+///     { "name": "clustering", "variant": "workspace", "n": 2000, "k": 2,
+///       "reps": 5, "wall_ns_mean": 1.2e7, "wall_ns_min": 1.1e7,
+///       "checksum": 12345.0 }
+///   ],
+///   "speedups": [
+///     { "name": "clustering", "n": 2000, "speedup": 3.4 }
+///   ]
+/// }
+/// `checksum` is a variant-independent digest of the kernel's output: equal
+/// checksums across variants of one (name, n) row double-check that the
+/// timed paths computed the same thing.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "khop/common/types.hpp"
+#include "khop/exp/table.hpp"
+
+namespace khop::bench {
+
+struct KernelTiming {
+  std::string name;     ///< kernel id, e.g. "bounded_bfs"
+  std::string variant;  ///< implementation id, e.g. "legacy" / "workspace"
+  std::size_t n = 0;    ///< problem size (node count)
+  Hops k = 0;
+  std::size_t reps = 0;
+  double wall_ns_mean = 0.0;
+  double wall_ns_min = 0.0;
+  double checksum = 0.0;
+};
+
+struct HarnessOptions {
+  std::size_t min_reps = 3;    ///< at least this many timed repetitions
+  double min_seconds = 0.05;   ///< and at least this much total wall time
+};
+
+/// Collects kernel timings and serializes the trajectory.
+class Harness {
+ public:
+  explicit Harness(std::string label, HarnessOptions opts = {});
+
+  /// Times \p fn (which runs one full kernel repetition and returns its
+  /// checksum) under the rep policy and records the row. Returns the row.
+  const KernelTiming& time_kernel(const std::string& name,
+                                  const std::string& variant, std::size_t n,
+                                  Hops k, const std::function<double()>& fn);
+
+  const std::vector<KernelTiming>& results() const noexcept {
+    return results_;
+  }
+
+  /// legacy-mean / workspace-mean for (name, n); 0 if either row is missing.
+  double speedup(const std::string& name, std::size_t n) const;
+
+  /// Rows whose checksum disagrees with another variant of the same
+  /// (name, n); empty means every variant pair computed identical outputs.
+  std::vector<std::string> checksum_mismatches() const;
+
+  std::string to_json() const;
+
+  /// Writes to_json() to \p path. Throws IoError on failure.
+  void write_json(const std::string& path) const;
+
+ private:
+  std::string label_;
+  HarnessOptions opts_;
+  std::vector<KernelTiming> results_;
+};
+
+/// Writes a table as CSV into $KHOP_CSV_DIR/<name>.csv when that environment
+/// variable is set (plot-ready artifacts next to the printed tables).
+void maybe_write_csv(const std::string& name, const TextTable& t);
+
+}  // namespace khop::bench

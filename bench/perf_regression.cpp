@@ -1,0 +1,203 @@
+/// \file perf_regression.cpp
+/// The perf-regression bench: times the four pipeline kernels (bounded BFS,
+/// clustering, backbone build, engine flood) at several node counts, checks
+/// that the workspace paths compute bit-identical results to the preserved
+/// legacy implementations (via output checksums), and emits the
+/// schema-versioned trajectory JSON (`BENCH_PR3.json` by default).
+///
+/// Usage:
+///   bench_perf_regression [--out FILE] [--sizes n1,n2,...] [--k K]
+///                         [--degree D] [--min-seconds S] [--seed S]
+///
+/// The CI smoke job runs it at tiny sizes; the committed trajectory uses the
+/// defaults (n in {500, 2000, 8000}).
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/harness.hpp"
+#include "khop/cluster/reference.hpp"
+#include "khop/exp/experiment.hpp"
+#include "khop/graph/bfs_reference.hpp"
+#include "khop/net/generator.hpp"
+#include "khop/runtime/workspace.hpp"
+#include "khop/sim/protocols/neighborhood.hpp"
+
+namespace {
+
+using namespace khop;
+
+struct Options {
+  std::string out = "BENCH_PR3.json";
+  std::vector<std::size_t> sizes = {500, 2000, 8000};
+  Hops k = 2;
+  double degree = 8.0;
+  double min_seconds = 0.05;
+  std::uint64_t seed = 20260729;
+};
+
+std::vector<std::size_t> parse_sizes(const std::string& csv) {
+  std::vector<std::size_t> sizes;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    sizes.push_back(static_cast<std::size_t>(std::stoull(item)));
+  }
+  return sizes;
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " requires a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--out") {
+      opt.out = need_value("--out");
+    } else if (arg == "--sizes") {
+      opt.sizes = parse_sizes(need_value("--sizes"));
+    } else if (arg == "--k") {
+      opt.k = static_cast<Hops>(std::stoul(need_value("--k")));
+    } else if (arg == "--degree") {
+      opt.degree = std::stod(need_value("--degree"));
+    } else if (arg == "--min-seconds") {
+      opt.min_seconds = std::stod(need_value("--min-seconds"));
+    } else if (arg == "--seed") {
+      opt.seed = std::stoull(need_value("--seed"));
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+/// Variant-independent digest of a BFS result: probes one fixed node per
+/// source so legacy (array) and workspace (query) variants pay the same
+/// checksum cost.
+double probe(Hops d) { return d == kUnreachable ? -1.0 : d; }
+
+/// Returns the realized node count benched (rows are keyed by it), or 0 if
+/// this point was skipped.
+std::size_t bench_point(bench::Harness& h, const Options& opt, std::size_t n,
+                        const std::vector<std::size_t>& already_benched) {
+  // Calibrated connected topology, identical for every kernel at this n.
+  ExperimentConfig cal;
+  cal.num_nodes = n;
+  cal.avg_degree = opt.degree;
+  const double radius = resolve_radius(cal, opt.seed);
+
+  GeneratorConfig gen;
+  gen.num_nodes = n;
+  gen.explicit_radius = radius;
+  Rng rng(opt.seed + n);
+  const AdHocNetwork net = generate_network(gen, rng);
+  const Graph& g = net.graph;
+  // The generator may fall back to the largest connected component, so the
+  // realized node count can be below the requested n; all indexing (and the
+  // reported row size) must use the realized count. Two requested sizes that
+  // realize identically would collide on the (name, n) row key - and the
+  // graphs would still differ (the topology rng is seeded by the requested
+  // size) - so duplicates are skipped rather than reported as mismatches.
+  n = g.num_nodes();
+  for (std::size_t prior : already_benched) {
+    if (prior == n) {
+      std::cout << "n=" << n << " already benched, skipping duplicate\n";
+      return 0;
+    }
+  }
+  const Hops k = opt.k;
+  const auto priorities = make_priorities(g, PriorityRule::kLowestId);
+  Workspace ws;
+
+  std::cout << "n=" << n << " (m=" << g.num_edges() << ")..." << std::flush;
+
+  // Kernel 1: bounded BFS from every source.
+  h.time_kernel("bounded_bfs", "legacy", n, k, [&] {
+    double sum = 0.0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const BfsTree t = reference::bfs_bounded(g, v, k);
+      sum += probe(t.dist[(v + n / 2) % n]);
+    }
+    return sum;
+  });
+  h.time_kernel("bounded_bfs", "workspace", n, k, [&] {
+    double sum = 0.0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      ws.bfs.run(g, v, k);
+      sum += probe(ws.bfs.dist((v + n / 2) % n));
+    }
+    return sum;
+  });
+
+  // Kernel 2: the paper's k-hop clustering election.
+  const auto clustering_checksum = [](const Clustering& c) {
+    double sum = static_cast<double>(c.election_rounds);
+    for (NodeId hd : c.heads) sum += hd;
+    for (NodeId v = 0; v < c.head_of.size(); ++v) sum += c.head_of[v];
+    return sum;
+  };
+  h.time_kernel("clustering", "legacy", n, k, [&] {
+    return clustering_checksum(
+        reference::khop_clustering(g, k, priorities, AffiliationRule::kIdBased));
+  });
+  h.time_kernel("clustering", "workspace", n, k, [&] {
+    return clustering_checksum(
+        khop_clustering(g, k, priorities, AffiliationRule::kIdBased, ws));
+  });
+
+  // Kernel 3: phase-2 backbone build (AC-LMST) over a fixed clustering.
+  const Clustering c =
+      khop_clustering(g, k, priorities, AffiliationRule::kIdBased, ws);
+  h.time_kernel("backbone", "workspace", n, k, [&] {
+    const Backbone b = build_backbone(g, c, Pipeline::kAcLmst, ws);
+    double sum = static_cast<double>(b.cds_size());
+    for (NodeId gw : b.gateways) sum += gw;
+    return sum;
+  });
+
+  // Kernel 4: engine flood - k-hop neighborhood discovery by bounded
+  // flooding over the arena-backed engine.
+  h.time_kernel("engine_flood", "workspace", n, k, [&] {
+    SyncEngine engine(g, [&](NodeId) {
+      return std::make_unique<NeighborhoodDiscoveryAgent>(k);
+    });
+    engine.run(2 * k + 2);
+    return static_cast<double>(engine.stats().receptions +
+                               engine.stats().rounds);
+  });
+
+  std::cout << " clustering speedup x" << fmt(h.speedup("clustering", n), 2)
+            << "\n";
+  return n;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+  bench::Harness harness("PR3", {3, opt.min_seconds});
+
+  std::vector<std::size_t> benched;
+  for (std::size_t n : opt.sizes) {
+    const std::size_t realized = bench_point(harness, opt, n, benched);
+    if (realized != 0) benched.push_back(realized);
+  }
+
+  const auto mismatches = harness.checksum_mismatches();
+  for (const std::string& m : mismatches) {
+    std::cerr << "CHECKSUM MISMATCH: " << m << "\n";
+  }
+  if (!mismatches.empty()) return 1;
+
+  harness.write_json(opt.out);
+  std::cout << "wrote " << opt.out << "\n";
+  return 0;
+}

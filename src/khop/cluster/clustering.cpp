@@ -5,8 +5,8 @@
 
 #include "khop/common/assert.hpp"
 #include "khop/common/error.hpp"
-#include "khop/graph/bfs.hpp"
 #include "khop/graph/components.hpp"
+#include "khop/runtime/workspace.hpp"
 
 namespace khop {
 
@@ -56,7 +56,7 @@ NodeId pick_cluster(const std::vector<Candidate>& cands, AffiliationRule rule,
 
 Clustering khop_clustering(const Graph& g, Hops k,
                            const std::vector<PriorityKey>& priorities,
-                           AffiliationRule rule) {
+                           AffiliationRule rule, Workspace& ws) {
   KHOP_REQUIRE(k >= 1, "k must be >= 1");
   KHOP_REQUIRE(priorities.size() == g.num_nodes(),
                "one priority key per node required");
@@ -76,6 +76,13 @@ Clustering khop_clustering(const Graph& g, Hops k,
   // size-based rule. Indexed by node id for simplicity.
   std::vector<std::size_t> cluster_sizes(n, 0);
 
+  // Round-scoped buffers, hoisted so rounds reuse their capacity. `heard`
+  // entries are cleared via `touched` rather than reconstructing n vectors
+  // per round.
+  std::vector<NodeId> winners;
+  std::vector<std::vector<Candidate>> heard(n);
+  std::vector<NodeId> touched;
+
   while (undecided_count > 0) {
     ++result.election_rounds;
     KHOP_ASSERT(result.election_rounds <= n, "election failed to make progress");
@@ -83,22 +90,28 @@ Clustering khop_clustering(const Graph& g, Hops k,
     // Phase A - declaration: an undecided node wins iff it holds the best
     // priority among *undecided* nodes within its k-hop neighborhood.
     // Distances are measured in the full graph G: decided nodes still relay.
-    std::vector<NodeId> winners;
+    // The scratch's reached() set is exactly {v : dist <= k}, so scanning it
+    // is equivalent to the full 0..n scan with unreachable-skips.
+    winners.clear();
     for (NodeId u = 0; u < n; ++u) {
       if (decided[u]) continue;
-      const BfsTree ball = bfs_bounded(g, u, k);
+      ws.bfs.run(g, u, k);
       bool best = true;
-      for (NodeId v = 0; v < n && best; ++v) {
-        if (v == u || decided[v] || ball.dist[v] == kUnreachable) continue;
-        if (priorities[v] < priorities[u]) best = false;
+      for (NodeId v : ws.bfs.reached()) {
+        if (v == u || decided[v]) continue;
+        if (priorities[v] < priorities[u]) {
+          best = false;
+          break;
+        }
       }
       if (best) winners.push_back(u);
     }
     KHOP_ASSERT(!winners.empty(), "no winner in a round");
 
     // Phase B - winners declare; undecided nodes within k hops collect the
-    // declarations they hear this round.
-    std::vector<std::vector<Candidate>> heard(n);
+    // declarations they hear this round. Each winner contributes at most one
+    // candidate per node, so filling heard[v] in winner order matches the
+    // reference implementation's per-v candidate order.
     for (NodeId w : winners) {
       decided[w] = true;
       --undecided_count;
@@ -107,10 +120,11 @@ Clustering khop_clustering(const Graph& g, Hops k,
       cluster_sizes[w] = 1;
       result.heads.push_back(w);
 
-      const BfsTree ball = bfs_bounded(g, w, k);
-      for (NodeId v = 0; v < n; ++v) {
-        if (decided[v] || ball.dist[v] == kUnreachable || v == w) continue;
-        heard[v].push_back({w, ball.dist[v]});
+      ws.bfs.run(g, w, k);
+      for (NodeId v : ws.bfs.reached()) {
+        if (decided[v] || v == w) continue;
+        if (heard[v].empty()) touched.push_back(v);
+        heard[v].push_back({w, ws.bfs.dist(v)});
       }
     }
 
@@ -122,8 +136,9 @@ Clustering khop_clustering(const Graph& g, Hops k,
 
     // Phase C - affiliation. Processing in ascending node id keeps the
     // size-based greedy deterministic.
-    for (NodeId v = 0; v < n; ++v) {
-      if (decided[v] || heard[v].empty()) continue;
+    std::sort(touched.begin(), touched.end());
+    for (NodeId v : touched) {
+      KHOP_ASSERT(!decided[v] && !heard[v].empty(), "stale affiliation entry");
       const NodeId h = pick_cluster(heard[v], rule, cluster_sizes);
       decided[v] = true;
       --undecided_count;
@@ -133,7 +148,9 @@ Clustering khop_clustering(const Graph& g, Hops k,
                        [&](const Candidate& c) { return c.head == h; })
               ->dist;
       ++cluster_sizes[h];
+      heard[v].clear();
     }
+    touched.clear();
   }
 
   std::sort(result.heads.begin(), result.heads.end());
@@ -147,6 +164,12 @@ Clustering khop_clustering(const Graph& g, Hops k,
         static_cast<std::uint32_t>(std::distance(result.heads.begin(), it));
   }
   return result;
+}
+
+Clustering khop_clustering(const Graph& g, Hops k,
+                           const std::vector<PriorityKey>& priorities,
+                           AffiliationRule rule) {
+  return khop_clustering(g, k, priorities, rule, tls_workspace());
 }
 
 Clustering khop_clustering(const Graph& g, Hops k, AffiliationRule rule) {

@@ -44,12 +44,22 @@ struct Clustering {
   std::vector<NodeId> cluster_members(std::uint32_t c) const;
 };
 
+struct Workspace;
+
 /// Runs the iterative k-hop clustering over connected graph \p g.
 /// \p priorities must be one strict-total-order key per node.
 /// \pre k >= 1; g connected (checked: throws NotConnected)
 Clustering khop_clustering(const Graph& g, Hops k,
                            const std::vector<PriorityKey>& priorities,
                            AffiliationRule rule = AffiliationRule::kIdBased);
+
+/// Zero-allocation-hot-path variant: the election's bounded BFS runs reuse
+/// \p ws (one workspace per thread; see khop/runtime/workspace.hpp). Output
+/// is bit-identical to the overload above, which forwards here with the
+/// calling thread's tls_workspace().
+Clustering khop_clustering(const Graph& g, Hops k,
+                           const std::vector<PriorityKey>& priorities,
+                           AffiliationRule rule, Workspace& ws);
 
 /// Convenience overload: lowest-ID priorities (the paper's configuration).
 Clustering khop_clustering(const Graph& g, Hops k,

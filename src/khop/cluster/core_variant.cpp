@@ -4,13 +4,14 @@
 
 #include "khop/common/assert.hpp"
 #include "khop/common/error.hpp"
-#include "khop/graph/bfs.hpp"
 #include "khop/graph/components.hpp"
+#include "khop/runtime/workspace.hpp"
 
 namespace khop {
 
 Clustering khop_core(const Graph& g, Hops k,
-                     const std::vector<PriorityKey>& priorities) {
+                     const std::vector<PriorityKey>& priorities,
+                     Workspace& ws) {
   KHOP_REQUIRE(k >= 1, "k must be >= 1");
   KHOP_REQUIRE(priorities.size() == g.num_nodes(),
                "one priority key per node required");
@@ -26,14 +27,16 @@ Clustering khop_core(const Graph& g, Hops k,
   result.dist_to_head.assign(n, kUnreachable);
 
   for (NodeId u = 0; u < n; ++u) {
-    const BfsTree ball = bfs_bounded(g, u, k);
+    ws.bfs.run(g, u, k);
+    // priorities is a strict total order, so the minimum over the reached
+    // set is order-independent: scanning reached() matches the reference's
+    // full 0..n scan with unreachable-skips.
     NodeId best = u;
-    for (NodeId v = 0; v < n; ++v) {
-      if (ball.dist[v] == kUnreachable) continue;
+    for (NodeId v : ws.bfs.reached()) {
       if (priorities[v] < priorities[best]) best = v;
     }
     result.head_of[u] = best;
-    result.dist_to_head[u] = ball.dist[best];
+    result.dist_to_head[u] = ws.bfs.dist(best);
   }
 
   // Heads are exactly the designated nodes. A designated node always
@@ -62,6 +65,11 @@ Clustering khop_core(const Graph& g, Hops k,
         static_cast<std::uint32_t>(std::distance(result.heads.begin(), it));
   }
   return result;
+}
+
+Clustering khop_core(const Graph& g, Hops k,
+                     const std::vector<PriorityKey>& priorities) {
+  return khop_core(g, k, priorities, tls_workspace());
 }
 
 Clustering khop_core(const Graph& g, Hops k) {

@@ -19,6 +19,12 @@ namespace khop {
 Clustering khop_core(const Graph& g, Hops k,
                      const std::vector<PriorityKey>& priorities);
 
+/// Workspace variant: the per-node bounded BFS runs reuse \p ws.
+/// Bit-identical output; the overload above forwards here.
+Clustering khop_core(const Graph& g, Hops k,
+                     const std::vector<PriorityKey>& priorities,
+                     Workspace& ws);
+
 /// Lowest-ID convenience overload.
 Clustering khop_core(const Graph& g, Hops k);
 

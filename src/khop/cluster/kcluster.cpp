@@ -1,17 +1,17 @@
 #include "khop/cluster/kcluster.hpp"
 
 #include <algorithm>
-#include <map>
 #include <sstream>
 
 #include "khop/common/assert.hpp"
 #include "khop/common/error.hpp"
 #include "khop/graph/bfs.hpp"
 #include "khop/graph/components.hpp"
+#include "khop/runtime/workspace.hpp"
 
 namespace khop {
 
-KClusterCover krishna_kclusters(const Graph& g, Hops k) {
+KClusterCover krishna_kclusters(const Graph& g, Hops k, Workspace& ws) {
   KHOP_REQUIRE(k >= 1, "k must be >= 1");
   if (!is_connected(g)) {
     throw NotConnected("krishna_kclusters: input graph must be connected");
@@ -23,27 +23,31 @@ KClusterCover krishna_kclusters(const Graph& g, Hops k) {
   cover.clusters_of.resize(n);
 
   std::vector<bool> covered(n, false);
-  // Bounded-ball cache: distances from each node used so far.
-  std::map<NodeId, BfsTree> ball_cache;
-  const auto ball = [&](NodeId v) -> const BfsTree& {
-    auto it = ball_cache.find(v);
-    if (it == ball_cache.end()) {
-      it = ball_cache.emplace(v, bfs_bounded(g, v, k)).first;
+  // Bounded-ball cache: full distance rows indexed directly by NodeId
+  // (epoch-stamped, rows reused across calls) - O(1) lookup and no BfsTree
+  // parent arrays, unlike the old std::map<NodeId, BfsTree> cache.
+  ws.ball_cache.begin(n);
+  const auto ball = [&](NodeId v) -> const std::vector<Hops>& {
+    if (!ws.ball_cache.contains(v)) {
+      ws.bfs.run(g, v, k);
+      std::vector<Hops>& row = ws.ball_cache.row(v);
+      row.assign(n, kUnreachable);
+      for (NodeId r : ws.bfs.reached()) row[r] = ws.bfs.dist(r);
     }
-    return it->second;
+    return ws.ball_cache.row(v);
   };
 
   for (NodeId seed = 0; seed < n; ++seed) {
     if (covered[seed]) continue;
     std::vector<NodeId> members{seed};
-    const BfsTree& seed_ball = ball(seed);
+    const std::vector<Hops>& seed_ball = ball(seed);
     for (NodeId cand = 0; cand < n; ++cand) {
-      if (cand == seed || seed_ball.dist[cand] == kUnreachable) continue;
+      if (cand == seed || seed_ball[cand] == kUnreachable) continue;
       // cand joins iff it is within k of every current member.
-      const BfsTree& cand_ball = ball(cand);
+      const std::vector<Hops>& cand_ball = ball(cand);
       bool fits = true;
       for (NodeId m : members) {
-        if (cand_ball.dist[m] == kUnreachable || cand_ball.dist[m] > k) {
+        if (cand_ball[m] == kUnreachable || cand_ball[m] > k) {
           fits = false;
           break;
         }
@@ -59,6 +63,15 @@ KClusterCover krishna_kclusters(const Graph& g, Hops k) {
     cover.clusters.push_back(std::move(members));
   }
   return cover;
+}
+
+KClusterCover krishna_kclusters(const Graph& g, Hops k) {
+  // Call-scoped workspace, not tls_workspace(): the ball cache is O(n^2)
+  // words and pinning that in a thread-local for the life of the thread
+  // would silently retain hundreds of MB after one large-graph call.
+  // Callers that want cross-call cache reuse pass their own Workspace.
+  Workspace ws;
+  return krishna_kclusters(g, k, ws);
 }
 
 std::string validate_kcluster_cover(const Graph& g, const KClusterCover& c) {

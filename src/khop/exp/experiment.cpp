@@ -15,7 +15,8 @@ double resolve_radius(const ExperimentConfig& cfg, std::uint64_t seed) {
                                     static_cast<std::uint64_t>(cfg.avg_degree)));
 }
 
-TrialResultMetrics run_single_trial(const ExperimentConfig& cfg, Rng& rng) {
+TrialResultMetrics run_single_trial(const ExperimentConfig& cfg, Rng& rng,
+                                    Workspace& ws) {
   KHOP_REQUIRE(cfg.radius.has_value(),
                "resolve_radius() must be applied before running trials");
   GeneratorConfig gen;
@@ -23,10 +24,11 @@ TrialResultMetrics run_single_trial(const ExperimentConfig& cfg, Rng& rng) {
   gen.explicit_radius = cfg.radius;
   const AdHocNetwork net = generate_network(gen, rng);
 
-  const Clustering clustering =
-      khop_clustering(net.graph, cfg.k, cfg.affiliation);
+  const Clustering clustering = khop_clustering(
+      net.graph, cfg.k, make_priorities(net.graph, PriorityRule::kLowestId),
+      cfg.affiliation, ws);
   const Backbone backbone =
-      build_backbone(net.graph, clustering, cfg.pipeline);
+      build_backbone(net.graph, clustering, cfg.pipeline, ws);
 
   if (cfg.validate) {
     const std::string err = validate_k_cds(net.graph, clustering, backbone);
@@ -40,6 +42,10 @@ TrialResultMetrics run_single_trial(const ExperimentConfig& cfg, Rng& rng) {
   return m;
 }
 
+TrialResultMetrics run_single_trial(const ExperimentConfig& cfg, Rng& rng) {
+  return run_single_trial(cfg, rng, tls_workspace());
+}
+
 SweepPoint run_sweep_point(ThreadPool& pool, ExperimentConfig cfg,
                            const TrialPolicy& policy, std::uint64_t seed) {
   if (!cfg.radius) cfg.radius = resolve_radius(cfg, seed);
@@ -47,8 +53,8 @@ SweepPoint run_sweep_point(ThreadPool& pool, ExperimentConfig cfg,
   const Rng master(seed);
   const TrialSummary summary = run_trials(
       pool, policy, master, 3,
-      [&cfg](Rng& rng, std::size_t) -> std::vector<double> {
-        const TrialResultMetrics m = run_single_trial(cfg, rng);
+      [&cfg](Rng& rng, std::size_t, Workspace& ws) -> std::vector<double> {
+        const TrialResultMetrics m = run_single_trial(cfg, rng, ws);
         return {m.clusterheads, m.gateways, m.cds_size};
       });
 

@@ -42,6 +42,11 @@ struct TrialResultMetrics {
 /// Runs one trial. Throws InvariantViolation if validation fails.
 TrialResultMetrics run_single_trial(const ExperimentConfig& cfg, Rng& rng);
 
+/// Workspace variant: clustering + backbone hot paths reuse \p ws.
+/// Bit-identical metrics; the overload above forwards here.
+TrialResultMetrics run_single_trial(const ExperimentConfig& cfg, Rng& rng,
+                                    Workspace& ws);
+
 /// Aggregated sweep point (one curve sample in a paper figure).
 struct SweepPoint {
   ExperimentConfig cfg;

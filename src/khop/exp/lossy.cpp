@@ -69,7 +69,8 @@ bool backbone_survives(const Graph& realized, const Backbone& b, Hops k) {
 
 }  // namespace
 
-LossyTrialMetrics run_lossy_trial(const LossyExperimentConfig& cfg, Rng& rng) {
+LossyTrialMetrics run_lossy_trial(const LossyExperimentConfig& cfg, Rng& rng,
+                                  Workspace& ws) {
   KHOP_REQUIRE(cfg.radius.has_value(),
                "resolve_lossy_radius() must be applied before running trials");
 
@@ -88,9 +89,11 @@ LossyTrialMetrics run_lossy_trial(const LossyExperimentConfig& cfg, Rng& rng) {
 
   // The backbone is built on the possible-links topology: the protocol
   // designer knows which links exist, not which packets will drop.
-  const Clustering clustering = khop_clustering(net.graph, cfg.k);
+  const Clustering clustering = khop_clustering(
+      net.graph, cfg.k, make_priorities(net.graph, PriorityRule::kLowestId),
+      AffiliationRule::kIdBased, ws);
   const Backbone backbone =
-      build_backbone(net.graph, clustering, cfg.pipeline);
+      build_backbone(net.graph, clustering, cfg.pipeline, ws);
 
   LossyFloodOptions blind_opts;
   blind_opts.seed = rng();
@@ -118,6 +121,10 @@ LossyTrialMetrics run_lossy_trial(const LossyExperimentConfig& cfg, Rng& rng) {
   return m;
 }
 
+LossyTrialMetrics run_lossy_trial(const LossyExperimentConfig& cfg, Rng& rng) {
+  return run_lossy_trial(cfg, rng, tls_workspace());
+}
+
 LossySweepPoint run_lossy_sweep_point(ThreadPool& pool,
                                       LossyExperimentConfig cfg,
                                       const TrialPolicy& policy,
@@ -127,8 +134,8 @@ LossySweepPoint run_lossy_sweep_point(ThreadPool& pool,
   const Rng master(seed);
   const TrialSummary summary = run_trials(
       pool, policy, master, 6,
-      [&cfg](Rng& rng, std::size_t) -> std::vector<double> {
-        const LossyTrialMetrics m = run_lossy_trial(cfg, rng);
+      [&cfg](Rng& rng, std::size_t, Workspace& ws) -> std::vector<double> {
+        const LossyTrialMetrics m = run_lossy_trial(cfg, rng, ws);
         return {m.blind_delivery, m.cds_delivery,    m.cds_transmissions,
                 m.drops,          m.retransmissions, m.backbone_survival};
       });

@@ -66,6 +66,11 @@ struct LossyTrialMetrics {
 /// Runs one lossy trial. \pre cfg.radius resolved.
 LossyTrialMetrics run_lossy_trial(const LossyExperimentConfig& cfg, Rng& rng);
 
+/// Workspace variant: clustering + backbone hot paths reuse \p ws.
+/// Bit-identical metrics; the overload above forwards here.
+LossyTrialMetrics run_lossy_trial(const LossyExperimentConfig& cfg, Rng& rng,
+                                  Workspace& ws);
+
 /// Aggregated lossy sweep point under the trial stopping policy.
 struct LossySweepPoint {
   LossyExperimentConfig cfg;

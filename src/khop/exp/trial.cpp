@@ -8,7 +8,7 @@ namespace khop {
 
 TrialSummary run_trials(ThreadPool& pool, const TrialPolicy& policy,
                         const Rng& master, std::size_t metric_count,
-                        const TrialFn& fn) {
+                        const TrialFnWs& fn) {
   KHOP_REQUIRE(metric_count > 0, "need at least one metric");
   KHOP_REQUIRE(policy.max_trials >= policy.min_trials,
                "max_trials < min_trials");
@@ -29,7 +29,9 @@ TrialSummary run_trials(ThreadPool& pool, const TrialPolicy& policy,
     parallel_for(pool, batch_size, [&](std::size_t i) {
       const std::size_t trial = next_trial + i;
       Rng rng = master.spawn(trial);
-      results[i] = fn(rng, trial);
+      // The worker's workspace persists across its trials (and across
+      // batches): scratch buffers stay warm for the whole experiment.
+      results[i] = fn(rng, trial, tls_workspace());
     });
 
     for (std::size_t i = 0; i < batch_size; ++i) {
@@ -55,6 +57,15 @@ TrialSummary run_trials(ThreadPool& pool, const TrialPolicy& policy,
     }
   }
   return summary;
+}
+
+TrialSummary run_trials(ThreadPool& pool, const TrialPolicy& policy,
+                        const Rng& master, std::size_t metric_count,
+                        const TrialFn& fn) {
+  return run_trials(pool, policy, master, metric_count,
+                    TrialFnWs([&fn](Rng& rng, std::size_t trial, Workspace&) {
+                      return fn(rng, trial);
+                    }));
 }
 
 }  // namespace khop

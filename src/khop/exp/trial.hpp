@@ -14,6 +14,7 @@
 #include "khop/common/rng.hpp"
 #include "khop/exp/stats.hpp"
 #include "khop/runtime/thread_pool.hpp"
+#include "khop/runtime/workspace.hpp"
 
 namespace khop {
 
@@ -29,6 +30,14 @@ struct TrialPolicy {
 /// Must be thread-safe w.r.t. shared state (treat captures as read-only).
 using TrialFn = std::function<std::vector<double>(Rng&, std::size_t trial)>;
 
+/// Workspace-aware trial: additionally receives the executing worker's
+/// thread-local Workspace, reused across every trial that worker runs. The
+/// workspace affects performance only - trial results must be a pure
+/// function of (rng, trial), which keeps summaries bit-identical across
+/// thread counts and schedulings.
+using TrialFnWs =
+    std::function<std::vector<double>(Rng&, std::size_t trial, Workspace&)>;
+
 struct TrialSummary {
   std::vector<RunningStats> metrics;
   std::size_t trials_run = 0;
@@ -40,5 +49,11 @@ struct TrialSummary {
 TrialSummary run_trials(ThreadPool& pool, const TrialPolicy& policy,
                         const Rng& master, std::size_t metric_count,
                         const TrialFn& fn);
+
+/// Workspace-aware overload: each pool worker's trials share its
+/// tls_workspace(), so the per-trial pipeline hot paths run allocation-free.
+TrialSummary run_trials(ThreadPool& pool, const TrialPolicy& policy,
+                        const Rng& master, std::size_t metric_count,
+                        const TrialFnWs& fn);
 
 }  // namespace khop

@@ -4,6 +4,7 @@
 #include "khop/gateway/gmst.hpp"
 #include "khop/gateway/lmst.hpp"
 #include "khop/gateway/mesh.hpp"
+#include "khop/runtime/workspace.hpp"
 
 namespace khop {
 
@@ -72,7 +73,7 @@ std::vector<NodeRole> Backbone::roles(std::size_t n) const {
 }
 
 Backbone build_backbone(const Graph& g, const Clustering& c,
-                        const BackboneSpec& spec) {
+                        const BackboneSpec& spec, Workspace& ws) {
   Backbone b;
   b.spec = spec;
   b.heads = c.heads;
@@ -84,8 +85,9 @@ Backbone build_backbone(const Graph& g, const Clustering& c,
     return b;
   }
 
-  const NeighborSelection sel = select_neighbors(g, c, spec.neighbor_rule);
-  const VirtualLinkMap links = VirtualLinkMap::build(g, sel.head_pairs);
+  const NeighborSelection sel =
+      select_neighbors(g, c, spec.neighbor_rule, ws);
+  const VirtualLinkMap links = VirtualLinkMap::build(g, sel.head_pairs, ws);
 
   if (spec.gateway == GatewayAlgorithm::kMesh) {
     MeshResult r = mesh_gateways(c, sel, links);
@@ -99,10 +101,20 @@ Backbone build_backbone(const Graph& g, const Clustering& c,
   return b;
 }
 
-Backbone build_backbone(const Graph& g, const Clustering& c, Pipeline p) {
-  Backbone b = build_backbone(g, c, spec_for(p));
+Backbone build_backbone(const Graph& g, const Clustering& c,
+                        const BackboneSpec& spec) {
+  return build_backbone(g, c, spec, tls_workspace());
+}
+
+Backbone build_backbone(const Graph& g, const Clustering& c, Pipeline p,
+                        Workspace& ws) {
+  Backbone b = build_backbone(g, c, spec_for(p), ws);
   b.pipeline = p;
   return b;
+}
+
+Backbone build_backbone(const Graph& g, const Clustering& c, Pipeline p) {
+  return build_backbone(g, c, p, tls_workspace());
 }
 
 }  // namespace khop

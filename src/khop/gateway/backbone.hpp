@@ -81,4 +81,13 @@ Backbone build_backbone(const Graph& g, const Clustering& c, Pipeline p);
 Backbone build_backbone(const Graph& g, const Clustering& c,
                         const BackboneSpec& spec);
 
+struct Workspace;
+
+/// Workspace variants: neighbor selection and virtual-link BFS runs reuse
+/// \p ws. Bit-identical output; the overloads above forward here.
+Backbone build_backbone(const Graph& g, const Clustering& c, Pipeline p,
+                        Workspace& ws);
+Backbone build_backbone(const Graph& g, const Clustering& c,
+                        const BackboneSpec& spec, Workspace& ws);
+
 }  // namespace khop

@@ -5,7 +5,7 @@
 
 #include "khop/common/assert.hpp"
 #include "khop/common/error.hpp"
-#include "khop/graph/bfs.hpp"
+#include "khop/runtime/workspace.hpp"
 
 namespace khop {
 
@@ -16,7 +16,8 @@ std::uint64_t VirtualLinkMap::key(NodeId a, NodeId b) noexcept {
 }
 
 VirtualLinkMap VirtualLinkMap::build(
-    const Graph& g, const std::vector<std::pair<NodeId, NodeId>>& pairs) {
+    const Graph& g, const std::vector<std::pair<NodeId, NodeId>>& pairs,
+    Workspace& ws) {
   VirtualLinkMap m;
 
   // Group pairs by smaller endpoint so each source needs a single BFS.
@@ -27,23 +28,28 @@ VirtualLinkMap VirtualLinkMap::build(
   }
 
   for (auto& [src, targets] : by_source) {
-    const BfsTree tree = bfs(g, src);
+    ws.bfs.run(g, src, kUnreachable);
     std::sort(targets.begin(), targets.end());
     targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
     for (NodeId dst : targets) {
-      if (tree.dist[dst] == kUnreachable) {
+      if (ws.bfs.dist(dst) == kUnreachable) {
         throw NotConnected("virtual link endpoints are disconnected in G");
       }
       VirtualLink link;
       link.u = src;
       link.v = dst;
-      link.hops = tree.dist[dst];
-      link.path = extract_path(tree, dst);
+      link.hops = ws.bfs.dist(dst);
+      link.path = ws.bfs.extract_path(dst);
       m.index_.emplace(key(src, dst), m.links_.size());
       m.links_.push_back(std::move(link));
     }
   }
   return m;
+}
+
+VirtualLinkMap VirtualLinkMap::build(
+    const Graph& g, const std::vector<std::pair<NodeId, NodeId>>& pairs) {
+  return build(g, pairs, tls_workspace());
 }
 
 const VirtualLink& VirtualLinkMap::link(NodeId a, NodeId b) const {

@@ -17,6 +17,8 @@
 
 namespace khop {
 
+struct Workspace;
+
 struct VirtualLink {
   NodeId u = kInvalidNode;  ///< smaller head id
   NodeId v = kInvalidNode;  ///< larger head id
@@ -31,6 +33,12 @@ class VirtualLinkMap {
   /// One BFS per distinct smaller endpoint.
   static VirtualLinkMap build(
       const Graph& g, const std::vector<std::pair<NodeId, NodeId>>& pairs);
+
+  /// Workspace variant: the per-source canonical BFS runs reuse \p ws.
+  /// Bit-identical output; the overload above forwards here.
+  static VirtualLinkMap build(
+      const Graph& g, const std::vector<std::pair<NodeId, NodeId>>& pairs,
+      Workspace& ws);
 
   /// Link for the unordered pair {a, b}. Throws InvalidArgument if absent.
   const VirtualLink& link(NodeId a, NodeId b) const;

@@ -1,7 +1,6 @@
 #include "khop/graph/bfs.hpp"
 
 #include <algorithm>
-#include <queue>
 
 #include "khop/common/assert.hpp"
 
@@ -9,58 +8,70 @@ namespace khop {
 
 namespace {
 
-/// Shared BFS core. Visiting nodes in ascending-id order per level and
-/// scanning sorted adjacency lists guarantees min-id canonical parents
-/// without any extra comparisons: the first edge that discovers v comes from
-/// the smallest-id parent on the shallowest level.
-BfsTree bfs_impl(const Graph& g, NodeId source, Hops max_hops) {
-  KHOP_REQUIRE(source < g.num_nodes(), "BFS source out of range");
-  BfsTree t;
-  t.source = source;
-  t.dist.assign(g.num_nodes(), kUnreachable);
-  t.parent.assign(g.num_nodes(), kInvalidNode);
-  t.dist[source] = 0;
-
-  std::vector<NodeId> frontier{source};
-  Hops level = 0;
-  while (!frontier.empty() && level < max_hops) {
-    std::vector<NodeId> next;
-    for (NodeId u : frontier) {
-      for (NodeId v : g.neighbors(u)) {
-        if (t.dist[v] == kUnreachable) {
-          t.dist[v] = level + 1;
-          t.parent[v] = u;
-          next.push_back(v);
-        }
-      }
-    }
-    // Frontier stays sorted: parents were processed in ascending order and
-    // each parent's neighbors are sorted, but interleaving across parents can
-    // break global order - restore it for the canonical-parent guarantee of
-    // the *next* level.
-    std::sort(next.begin(), next.end());
-    frontier = std::move(next);
-    ++level;
-  }
-  return t;
+/// Per-thread scratch backing the allocating convenience signatures, so that
+/// legacy call sites stop paying per-call frontier/mark allocations without
+/// any signature change. Thread-local keeps them safe under parallel_for.
+BfsScratch& wrapper_scratch() {
+  thread_local BfsScratch ws;
+  return ws;
 }
 
 }  // namespace
 
+void bfs_into(const Graph& g, NodeId source, BfsScratch& ws, BfsTree& out) {
+  bfs_bounded_into(g, source, kUnreachable, ws, out);
+}
+
+void bfs_bounded_into(const Graph& g, NodeId source, Hops max_hops,
+                      BfsScratch& ws, BfsTree& out) {
+  ws.run(g, source, max_hops);
+  out.source = source;
+  out.dist.assign(g.num_nodes(), kUnreachable);
+  out.parent.assign(g.num_nodes(), kInvalidNode);
+  for (NodeId v : ws.reached()) {
+    out.dist[v] = ws.dist(v);
+    out.parent[v] = ws.parent(v);
+  }
+}
+
+void k_hop_neighborhood_into(const Graph& g, NodeId source, Hops k,
+                             BfsScratch& ws, std::vector<NodeId>& out) {
+  ws.run(g, source, k);
+  out.clear();
+  // reached() is level-ordered and includes the source; the contract is
+  // ascending ids without the source.
+  for (NodeId v : ws.reached()) {
+    if (v != source) out.push_back(v);
+  }
+  std::sort(out.begin(), out.end());
+}
+
+void multi_source_bfs_into(const Graph& g, const std::vector<NodeId>& seeds,
+                           BfsScratch& ws, MultiSourceBfs& out) {
+  ws.run_multi(g, seeds);
+  out.dist.assign(g.num_nodes(), kUnreachable);
+  out.owner.assign(g.num_nodes(), kInvalidNode);
+  for (NodeId v : ws.reached()) {
+    out.dist[v] = ws.dist(v);
+    out.owner[v] = ws.owner(v);
+  }
+}
+
 BfsTree bfs(const Graph& g, NodeId source) {
-  return bfs_impl(g, source, kUnreachable);
+  BfsTree t;
+  bfs_into(g, source, wrapper_scratch(), t);
+  return t;
 }
 
 BfsTree bfs_bounded(const Graph& g, NodeId source, Hops max_hops) {
-  return bfs_impl(g, source, max_hops);
+  BfsTree t;
+  bfs_bounded_into(g, source, max_hops, wrapper_scratch(), t);
+  return t;
 }
 
 std::vector<NodeId> k_hop_neighborhood(const Graph& g, NodeId source, Hops k) {
-  const BfsTree t = bfs_bounded(g, source, k);
   std::vector<NodeId> out;
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    if (v != source && t.dist[v] != kUnreachable) out.push_back(v);
-  }
+  k_hop_neighborhood_into(g, source, k, wrapper_scratch(), out);
   return out;
 }
 
@@ -80,46 +91,18 @@ std::vector<NodeId> extract_path(const BfsTree& tree, NodeId target) {
 MultiSourceBfs multi_source_bfs(const Graph& g,
                                 const std::vector<NodeId>& seeds) {
   MultiSourceBfs r;
-  r.dist.assign(g.num_nodes(), kUnreachable);
-  r.owner.assign(g.num_nodes(), kInvalidNode);
-
-  std::vector<NodeId> frontier;
-  for (NodeId s : seeds) {
-    KHOP_REQUIRE(s < g.num_nodes(), "seed out of range");
-    r.dist[s] = 0;
-    r.owner[s] = s;
-    frontier.push_back(s);
-  }
-  std::sort(frontier.begin(), frontier.end());
-
-  Hops level = 0;
-  while (!frontier.empty()) {
-    std::vector<NodeId> next;
-    for (NodeId u : frontier) {
-      for (NodeId v : g.neighbors(u)) {
-        if (r.dist[v] == kUnreachable) {
-          r.dist[v] = level + 1;
-          r.owner[v] = r.owner[u];
-          next.push_back(v);
-        } else if (r.dist[v] == level + 1 && r.owner[u] < r.owner[v]) {
-          // Same level, smaller owning seed wins (deterministic tie-break).
-          r.owner[v] = r.owner[u];
-        }
-      }
-    }
-    std::sort(next.begin(), next.end());
-    next.erase(std::unique(next.begin(), next.end()), next.end());
-    frontier = std::move(next);
-    ++level;
-  }
+  multi_source_bfs_into(g, seeds, wrapper_scratch(), r);
   return r;
 }
 
 std::vector<std::vector<Hops>> all_pairs_hops(const Graph& g) {
   std::vector<std::vector<Hops>> d;
   d.reserve(g.num_nodes());
+  BfsScratch ws;
+  BfsTree t;
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    d.push_back(bfs(g, u).dist);
+    bfs_into(g, u, ws, t);
+    d.push_back(t.dist);
   }
   return d;
 }

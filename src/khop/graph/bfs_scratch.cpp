@@ -1,0 +1,108 @@
+#include "khop/graph/bfs_scratch.hpp"
+
+#include <algorithm>
+
+#include "khop/common/assert.hpp"
+
+namespace khop {
+
+void BfsScratch::begin(std::size_t n) {
+  if (stamp_.size() < n) {
+    stamp_.resize(n, 0);
+    dist_.resize(n);
+    parent_.resize(n);
+  }
+  if (epoch_ == std::numeric_limits<std::uint32_t>::max()) {
+    // Epoch wrap: stale stamps could alias the new epoch, so clear them once.
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    epoch_ = 0;
+  }
+  ++epoch_;
+  reached_.clear();
+  frontier_.clear();
+  next_.clear();
+}
+
+void BfsScratch::run(const Graph& g, NodeId source, Hops max_hops) {
+  KHOP_REQUIRE(source < g.num_nodes(), "BFS source out of range");
+  begin(g.num_nodes());
+  source_ = source;
+  stamp_[source] = epoch_;
+  dist_[source] = 0;
+  parent_[source] = kInvalidNode;
+  reached_.push_back(source);
+
+  frontier_.push_back(source);
+  Hops level = 0;
+  while (!frontier_.empty() && level < max_hops) {
+    next_.clear();
+    for (NodeId u : frontier_) {
+      for (NodeId v : g.neighbors(u)) {
+        if (stamp_[v] != epoch_) {
+          stamp_[v] = epoch_;
+          dist_[v] = level + 1;
+          parent_[v] = u;
+          next_.push_back(v);
+        }
+      }
+    }
+    // Keep each level ascending: with sorted adjacency this preserves the
+    // canonical min-id parent guarantee for the next level (see bfs.cpp).
+    std::sort(next_.begin(), next_.end());
+    reached_.insert(reached_.end(), next_.begin(), next_.end());
+    frontier_.swap(next_);
+    ++level;
+  }
+}
+
+void BfsScratch::run_multi(const Graph& g, std::span<const NodeId> seeds) {
+  begin(g.num_nodes());
+  source_ = kInvalidNode;
+  for (NodeId s : seeds) {
+    KHOP_REQUIRE(s < g.num_nodes(), "seed out of range");
+    stamp_[s] = epoch_;
+    dist_[s] = 0;
+    parent_[s] = s;  // owner
+    frontier_.push_back(s);
+  }
+  std::sort(frontier_.begin(), frontier_.end());
+  reached_.insert(reached_.end(), frontier_.begin(), frontier_.end());
+
+  Hops level = 0;
+  while (!frontier_.empty()) {
+    next_.clear();
+    for (NodeId u : frontier_) {
+      for (NodeId v : g.neighbors(u)) {
+        if (stamp_[v] != epoch_) {
+          stamp_[v] = epoch_;
+          dist_[v] = level + 1;
+          parent_[v] = parent_[u];
+          next_.push_back(v);
+        } else if (dist_[v] == level + 1 && parent_[u] < parent_[v]) {
+          // Same level, smaller owning seed wins (deterministic tie-break).
+          parent_[v] = parent_[u];
+        }
+      }
+    }
+    std::sort(next_.begin(), next_.end());
+    next_.erase(std::unique(next_.begin(), next_.end()), next_.end());
+    reached_.insert(reached_.end(), next_.begin(), next_.end());
+    frontier_.swap(next_);
+    ++level;
+  }
+}
+
+std::vector<NodeId> BfsScratch::extract_path(NodeId target) const {
+  KHOP_REQUIRE(target < stamp_.size(), "path target out of range");
+  KHOP_REQUIRE(dist(target) != kUnreachable,
+               "target unreachable from BFS source");
+  std::vector<NodeId> path;
+  for (NodeId v = target; v != kInvalidNode; v = parent(v)) {
+    path.push_back(v);
+  }
+  std::reverse(path.begin(), path.end());
+  KHOP_ASSERT(path.front() == source_, "path does not start at source");
+  return path;
+}
+
+}  // namespace khop

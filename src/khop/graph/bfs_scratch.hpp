@@ -1,0 +1,80 @@
+/// \file bfs_scratch.hpp
+/// Reusable scratch state for the BFS kernels: epoch-stamped visited marks
+/// plus distance/parent/frontier buffers that survive across runs.
+///
+/// Why: the clustering pipeline performs thousands of bounded BFS runs per
+/// topology, and each allocating run pays two O(n) array fills plus several
+/// heap allocations even when it only visits a few dozen nodes. A BfsScratch
+/// amortizes the buffers across runs and replaces the O(n) clears with an
+/// epoch bump, so a bounded run costs O(visited + visited edges) only.
+///
+/// Contract:
+///  * One run at a time: calling any run_* invalidates the previous run's
+///    query results (the epoch advances).
+///  * Not thread-safe: one BfsScratch per thread (see Workspace /
+///    tls_workspace() in khop/runtime/workspace.hpp).
+///  * dist()/parent()/owner() queries are valid for any v < num_nodes of the
+///    graph given to the last run.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "khop/common/types.hpp"
+#include "khop/graph/graph.hpp"
+
+namespace khop {
+
+class BfsScratch {
+ public:
+  /// Bounded single-source BFS with canonical (min-id) parents; equivalent
+  /// to bfs_bounded(g, source, max_hops) but touching only reached nodes.
+  /// Pass kUnreachable as \p max_hops for an unbounded run.
+  void run(const Graph& g, NodeId source, Hops max_hops);
+
+  /// Multi-source BFS; equivalent to multi_source_bfs(g, seeds). After this
+  /// run owner() is meaningful and parent() must not be used.
+  void run_multi(const Graph& g, std::span<const NodeId> seeds);
+
+  /// Hop distance of \p v from the last run's source(s); kUnreachable if the
+  /// run did not reach v.
+  Hops dist(NodeId v) const noexcept {
+    return stamp_[v] == epoch_ ? dist_[v] : kUnreachable;
+  }
+
+  /// Canonical parent of \p v in the last single-source run (kInvalidNode at
+  /// the source and at unreached nodes).
+  NodeId parent(NodeId v) const noexcept {
+    return stamp_[v] == epoch_ ? parent_[v] : kInvalidNode;
+  }
+
+  /// Owning seed of \p v after run_multi (kInvalidNode if unreached).
+  NodeId owner(NodeId v) const noexcept { return parent(v); }
+
+  /// Every node the last run reached (sources included), in visit order:
+  /// level by level, ascending id within each level.
+  std::span<const NodeId> reached() const noexcept { return reached_; }
+
+  /// Source of the last single-source run.
+  NodeId source() const noexcept { return source_; }
+
+  /// Canonical shortest path source -> target from the last single-source
+  /// run, both endpoints included. \pre dist(target) != kUnreachable
+  std::vector<NodeId> extract_path(NodeId target) const;
+
+ private:
+  /// Grows the per-node arrays to \p n and opens a fresh epoch.
+  void begin(std::size_t n);
+
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> stamp_;  ///< stamp_[v] == epoch_ <=> v visited
+  std::vector<Hops> dist_;
+  std::vector<NodeId> parent_;  ///< parent (single-source) or owner (multi)
+  std::vector<NodeId> reached_;
+  std::vector<NodeId> frontier_;
+  std::vector<NodeId> next_;
+  NodeId source_ = kInvalidNode;
+};
+
+}  // namespace khop

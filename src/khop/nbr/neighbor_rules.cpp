@@ -4,7 +4,7 @@
 #include <set>
 
 #include "khop/common/assert.hpp"
-#include "khop/graph/bfs.hpp"
+#include "khop/runtime/workspace.hpp"
 
 namespace khop {
 
@@ -36,16 +36,17 @@ NeighborSelection finish(NeighborSelection sel) {
   return sel;
 }
 
-NeighborSelection select_nc(const Graph& g, const Clustering& c) {
+NeighborSelection select_nc(const Graph& g, const Clustering& c,
+                            Workspace& ws) {
   NeighborSelection sel;
   sel.rule = NeighborRule::kAllWithin2k1;
   sel.selected.resize(c.heads.size());
   const Hops horizon = 2 * c.k + 1;
   for (std::uint32_t i = 0; i < c.heads.size(); ++i) {
-    const BfsTree ball = bfs_bounded(g, c.heads[i], horizon);
+    ws.bfs.run(g, c.heads[i], horizon);
     for (std::uint32_t j = 0; j < c.heads.size(); ++j) {
       if (i == j) continue;
-      if (ball.dist[c.heads[j]] != kUnreachable) {
+      if (ws.bfs.dist(c.heads[j]) != kUnreachable) {
         sel.selected[i].push_back(c.heads[j]);
         sel.head_pairs.emplace_back(std::min(c.heads[i], c.heads[j]),
                                     std::max(c.heads[i], c.heads[j]));
@@ -69,7 +70,8 @@ NeighborSelection select_ancr(const Graph& g, const Clustering& c) {
   return finish(std::move(sel));
 }
 
-NeighborSelection select_wulou(const Graph& g, const Clustering& c) {
+NeighborSelection select_wulou(const Graph& g, const Clustering& c,
+                               Workspace& ws) {
   KHOP_REQUIRE(c.k == 1, "Wu-Lou 2.5-hop coverage is defined for k = 1");
   NeighborSelection sel;
   sel.rule = NeighborRule::kWuLou25;
@@ -77,21 +79,23 @@ NeighborSelection select_wulou(const Graph& g, const Clustering& c) {
 
   for (std::uint32_t i = 0; i < c.heads.size(); ++i) {
     const NodeId u = c.heads[i];
-    const BfsTree ball = bfs_bounded(g, u, 3);
+    ws.bfs.run(g, u, 3);
     for (std::uint32_t j = 0; j < c.heads.size(); ++j) {
       if (i == j) continue;
       const NodeId v = c.heads[j];
-      const Hops d = ball.dist[v];
+      const Hops d = ws.bfs.dist(v);
       if (d == kUnreachable) continue;
       bool covered = false;
       if (d <= 2) {
         covered = true;
       } else {
         // d == 3: covered iff cluster j has a member within 2 hops of u.
-        for (NodeId w = 0; w < g.num_nodes() && !covered; ++w) {
-          if (c.cluster_of[w] == j && ball.dist[w] != kUnreachable &&
-              ball.dist[w] <= 2) {
+        // `covered` is a pure existence check, so scanning the reached set
+        // instead of all node ids yields the same answer.
+        for (NodeId w : ws.bfs.reached()) {
+          if (c.cluster_of[w] == j && ws.bfs.dist(w) <= 2) {
             covered = true;
+            break;
           }
         }
       }
@@ -107,18 +111,23 @@ NeighborSelection select_wulou(const Graph& g, const Clustering& c) {
 }  // namespace
 
 NeighborSelection select_neighbors(const Graph& g, const Clustering& c,
-                                   NeighborRule rule) {
+                                   NeighborRule rule, Workspace& ws) {
   KHOP_REQUIRE(!c.heads.empty(), "clustering has no heads");
   switch (rule) {
     case NeighborRule::kAllWithin2k1:
-      return select_nc(g, c);
+      return select_nc(g, c, ws);
     case NeighborRule::kAdjacent:
       return select_ancr(g, c);
     case NeighborRule::kWuLou25:
-      return select_wulou(g, c);
+      return select_wulou(g, c, ws);
   }
   KHOP_ASSERT(false, "unknown neighbor rule");
   return {};
+}
+
+NeighborSelection select_neighbors(const Graph& g, const Clustering& c,
+                                   NeighborRule rule) {
+  return select_neighbors(g, c, rule, tls_workspace());
 }
 
 }  // namespace khop

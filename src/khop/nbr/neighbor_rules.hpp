@@ -40,6 +40,13 @@ struct NeighborSelection {
 NeighborSelection select_neighbors(const Graph& g, const Clustering& c,
                                    NeighborRule rule);
 
+struct Workspace;
+
+/// Workspace variant: the per-head bounded BFS runs reuse \p ws.
+/// Bit-identical output; the overload above forwards here.
+NeighborSelection select_neighbors(const Graph& g, const Clustering& c,
+                                   NeighborRule rule, Workspace& ws);
+
 /// Cluster-index pairs (ci < cj) whose clusters are adjacent per Definition 2
 /// (some edge of G joins a node of one to a node of the other).
 std::vector<std::pair<std::uint32_t, std::uint32_t>> adjacent_cluster_pairs(

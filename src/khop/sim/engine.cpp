@@ -17,8 +17,11 @@ void NodeContext::broadcast(std::uint16_t type,
                             std::vector<std::int64_t> data) {
   ++engine_->stats_.transmissions;
   engine_->stats_.payload_words += data.size();
+  // One materialization per broadcast: every neighbor's delivery aliases the
+  // same interned words (the old path deep-copied the vector per neighbor).
+  const PayloadView payload = engine_->arenas_[engine_->write_].intern(data);
   for (NodeId v : engine_->graph_->neighbors(id_)) {
-    engine_->enqueue(id_, v, type, data);
+    engine_->enqueue(id_, v, type, payload);
   }
 }
 
@@ -28,12 +31,13 @@ void NodeContext::send(NodeId to, std::uint16_t type,
                "addressed send target is not a neighbor");
   ++engine_->stats_.transmissions;
   engine_->stats_.payload_words += data.size();
-  engine_->enqueue(id_, to, type, data);
+  const PayloadView payload = engine_->arenas_[engine_->write_].intern(data);
+  engine_->enqueue(id_, to, type, payload);
 }
 
 SyncEngine::SyncEngine(const Graph& g, const AgentFactory& factory,
                        const DeliveryOptions& delivery)
-    : graph_(&g), delivery_(delivery), pending_(g.num_nodes()) {
+    : graph_(&g), delivery_(delivery) {
   KHOP_REQUIRE(static_cast<bool>(factory), "agent factory required");
   agents_.reserve(g.num_nodes());
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
@@ -43,7 +47,7 @@ SyncEngine::SyncEngine(const Graph& g, const AgentFactory& factory,
 }
 
 void SyncEngine::enqueue(NodeId from, NodeId to, std::uint16_t type,
-                         const std::vector<std::int64_t>& data) {
+                         PayloadView data) {
   if (delivery_.model != nullptr) {
     bool delivered = delivery_.model->attempt(from, to);
     for (std::size_t retry = 0; !delivered && retry < delivery_.retry_budget;
@@ -56,8 +60,7 @@ void SyncEngine::enqueue(NodeId from, NodeId to, std::uint16_t type,
       return;
     }
   }
-  pending_[to].push_back(Message{from, type, data});
-  ++pending_count_;
+  queues_[write_].push_back(Routed{to, Message{from, type, data}});
 }
 
 NodeAgent& SyncEngine::agent(NodeId v) {
@@ -79,7 +82,7 @@ bool SyncEngine::run(std::size_t max_rounds) {
 
   while (round_ < max_rounds) {
     // Quiescence check at the round boundary.
-    if (pending_count_ == 0) {
+    if (queues_[write_].empty()) {
       const bool all_done = std::all_of(
           agents_.begin(), agents_.end(),
           [](const std::unique_ptr<NodeAgent>& a) { return a->finished(); });
@@ -89,30 +92,34 @@ bool SyncEngine::run(std::size_t max_rounds) {
     ++round_;
     ++stats_.rounds;
 
-    // Swap out this round's deliveries; handlers enqueue into the fresh set.
-    std::vector<std::vector<Message>> inbox(graph_->num_nodes());
-    inbox.swap(pending_);
-    pending_count_ = 0;
+    // Flip buffers: this round's deliveries become the read side; handlers
+    // enqueue into the other side, whose previous contents (delivered two
+    // rounds ago) are dropped with capacity retained.
+    std::vector<Routed>& inbox = queues_[write_];
+    write_ ^= 1u;
+    queues_[write_].clear();
+    arenas_[write_].clear();
 
-    for (NodeId v = 0; v < graph_->num_nodes(); ++v) {
-      auto& box = inbox[v];
-      std::sort(box.begin(), box.end(),
-                [](const Message& a, const Message& b) {
-                  return std::tie(a.sender, a.type, a.data) <
-                         std::tie(b.sender, b.type, b.data);
-                });
-      NodeContext ctx(*this, v);
-      for (const Message& msg : box) {
-        ++stats_.receptions;
-        agents_[v]->on_message(ctx, msg);
-      }
+    // Deterministic delivery order, bit-for-bit as the per-destination
+    // implementation: destinations ascending, then (sender, type, payload).
+    // A single flat sort gives the same sequence because messages equal in
+    // all three keys are indistinguishable.
+    std::sort(inbox.begin(), inbox.end(), [](const Routed& a, const Routed& b) {
+      return std::tie(a.to, a.msg.sender, a.msg.type, a.msg.data) <
+             std::tie(b.to, b.msg.sender, b.msg.type, b.msg.data);
+    });
+
+    for (const Routed& r : inbox) {
+      ++stats_.receptions;
+      NodeContext ctx(*this, r.to);
+      agents_[r.to]->on_message(ctx, r.msg);
     }
     for (NodeId v = 0; v < graph_->num_nodes(); ++v) {
       NodeContext ctx(*this, v);
       agents_[v]->on_round_end(ctx);
     }
   }
-  return pending_count_ == 0 &&
+  return queues_[write_].empty() &&
          std::all_of(agents_.begin(), agents_.end(),
                      [](const std::unique_ptr<NodeAgent>& a) {
                        return a->finished();

@@ -113,17 +113,28 @@ class SyncEngine {
  private:
   friend class NodeContext;
 
+  /// One scheduled delivery: destination + the message it will receive.
+  struct Routed {
+    NodeId to = kInvalidNode;
+    Message msg;
+  };
+
   const Graph* graph_;
   DeliveryOptions delivery_;
   std::vector<std::unique_ptr<NodeAgent>> agents_;
-  /// Messages to deliver next round, per destination.
-  std::vector<std::vector<Message>> pending_;
-  std::size_t pending_count_ = 0;
+  /// Double-buffered flat delivery queues + payload arenas, indexed by
+  /// write_. Handlers enqueue into queues_[write_] / arenas_[write_]; at the
+  /// round boundary the buffers flip and the stale side is cleared with its
+  /// capacity retained, so steady-state rounds are allocation-free.
+  std::vector<Routed> queues_[2];
+  PayloadArena arenas_[2];
+  unsigned write_ = 0;
   std::size_t round_ = 0;
   SimStats stats_;
 
-  void enqueue(NodeId from, NodeId to, std::uint16_t type,
-               const std::vector<std::int64_t>& data);
+  /// Runs the per-link delivery model (drops/retries) and, if delivered,
+  /// schedules \p data (already interned in the write arena) for \p to.
+  void enqueue(NodeId from, NodeId to, std::uint16_t type, PayloadView data);
 };
 
 }  // namespace khop

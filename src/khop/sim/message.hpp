@@ -1,22 +1,112 @@
 /// \file message.hpp
 /// Wire format and accounting for the synchronous message-passing simulator.
 ///
-/// Payloads are vectors of 64-bit words: rich enough for every protocol here
-/// (flood origins, hop counters, adjacency sets) while keeping the overhead
-/// accounting trivial (1 word = 8 bytes).
+/// Payloads are sequences of 64-bit words: rich enough for every protocol
+/// here (flood origins, hop counters, adjacency sets) while keeping the
+/// overhead accounting trivial (1 word = 8 bytes).
+///
+/// Delivered messages carry a PayloadView into the engine's round arena: a
+/// broadcast materializes its payload once and every receiving neighbor's
+/// Message aliases the same immutable words, instead of the historical one
+/// deep copy per neighbor. Views are valid only while the handler runs
+/// (through the end of the delivery round); protocols that keep payload data
+/// must copy it (PayloadView converts implicitly to std::vector).
 #pragma once
 
+#include <algorithm>
+#include <compare>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "khop/common/types.hpp"
 
 namespace khop {
 
+/// Non-owning view of an immutable message payload. Ordered lexicographically
+/// by words, which keeps the engine's (sender, type, payload) inbox sort
+/// bit-identical to the old vector-payload behaviour.
+class PayloadView {
+ public:
+  constexpr PayloadView() = default;
+  constexpr PayloadView(const std::int64_t* words, std::size_t size) noexcept
+      : words_(words), size_(size) {}
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  const std::int64_t& operator[](std::size_t i) const noexcept {
+    return words_[i];
+  }
+  const std::int64_t* begin() const noexcept { return words_; }
+  const std::int64_t* end() const noexcept { return words_ + size_; }
+
+  std::vector<std::int64_t> to_vector() const { return {begin(), end()}; }
+
+  /// Implicit copy-out so existing call sites (`std::vector<...> fwd =
+  /// msg.data;`, `ctx.send(..., msg.data)`) keep working unchanged.
+  operator std::vector<std::int64_t>() const { return to_vector(); }
+
+  friend bool operator==(PayloadView a, PayloadView b) noexcept {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+  friend std::strong_ordering operator<=>(PayloadView a,
+                                          PayloadView b) noexcept {
+    return std::lexicographical_compare_three_way(a.begin(), a.end(),
+                                                  b.begin(), b.end());
+  }
+
+ private:
+  const std::int64_t* words_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Bump arena for message payload words. intern() appends into chunked
+/// blocks whose addresses are stable (a block never reallocates once words
+/// point into it), and clear() resets for reuse without releasing capacity -
+/// the engine keeps two, double-buffered by delivery round.
+class PayloadArena {
+ public:
+  /// Copies \p words into the arena and returns a stable view of them.
+  PayloadView intern(std::span<const std::int64_t> words) {
+    if (words.empty()) return {};
+    std::vector<std::int64_t>& block = reserve_block(words.size());
+    const std::int64_t* start = block.data() + block.size();
+    block.insert(block.end(), words.begin(), words.end());
+    return {start, words.size()};
+  }
+
+  /// Invalidates every view handed out since the last clear(). Keeps block
+  /// capacity so steady-state rounds allocate nothing.
+  void clear() noexcept {
+    for (std::size_t i = 0; i <= cur_ && i < blocks_.size(); ++i) {
+      blocks_[i].clear();
+    }
+    cur_ = 0;
+  }
+
+ private:
+  static constexpr std::size_t kMinBlockWords = 4096;
+
+  /// A block with room for \p len more words without reallocating.
+  std::vector<std::int64_t>& reserve_block(std::size_t len) {
+    while (cur_ < blocks_.size() &&
+           blocks_[cur_].capacity() - blocks_[cur_].size() < len) {
+      ++cur_;
+    }
+    if (cur_ == blocks_.size()) {
+      blocks_.emplace_back().reserve(std::max(kMinBlockWords, len));
+    }
+    return blocks_[cur_];
+  }
+
+  std::vector<std::vector<std::int64_t>> blocks_;
+  std::size_t cur_ = 0;
+};
+
 struct Message {
   NodeId sender = kInvalidNode;  ///< immediate (1-hop) sender
   std::uint16_t type = 0;        ///< protocol-defined tag
-  std::vector<std::int64_t> data;
+  PayloadView data;              ///< valid for the delivery round only
 };
 
 /// Protocol cost accounting. A local broadcast is one radio transmission

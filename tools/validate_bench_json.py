@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Validates a BENCH_*.json file against the khop.bench schema (version 1).
+
+Usage: validate_bench_json.py FILE [FILE...]
+Exits non-zero (printing the first problem) if any file is invalid.
+"""
+import json
+import sys
+
+KERNEL_FIELDS = {
+    "name": str,
+    "variant": str,
+    "n": int,
+    "k": int,
+    "reps": int,
+    "wall_ns_mean": (int, float),
+    "wall_ns_min": (int, float),
+    "checksum": (int, float),
+}
+SPEEDUP_FIELDS = {"name": str, "n": int, "speedup": (int, float)}
+REQUIRED_KERNELS = {"bounded_bfs", "clustering", "backbone", "engine_flood"}
+
+
+def fail(path, msg):
+    print(f"{path}: INVALID - {msg}")
+    sys.exit(1)
+
+
+def check_rows(path, rows, fields, what):
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            fail(path, f"{what}[{i}] is not an object")
+        for key, typ in fields.items():
+            if key not in row:
+                fail(path, f"{what}[{i}] missing field '{key}'")
+            if not isinstance(row[key], typ) or isinstance(row[key], bool):
+                fail(path, f"{what}[{i}].{key} has wrong type")
+        if "reps" in row and row["reps"] < 1:
+            fail(path, f"{what}[{i}].reps must be >= 1")
+        if "wall_ns_mean" in row and row["wall_ns_mean"] <= 0:
+            fail(path, f"{what}[{i}].wall_ns_mean must be positive")
+
+
+def validate(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"unreadable or not JSON ({e})")
+
+    if doc.get("schema") != "khop.bench":
+        fail(path, "schema must be 'khop.bench'")
+    if doc.get("schema_version") != 1:
+        fail(path, "schema_version must be 1")
+    if not isinstance(doc.get("label"), str) or not doc["label"]:
+        fail(path, "label must be a non-empty string")
+    if not isinstance(doc.get("kernels"), list) or not doc["kernels"]:
+        fail(path, "kernels must be a non-empty array")
+    if not isinstance(doc.get("speedups"), list):
+        fail(path, "speedups must be an array")
+
+    check_rows(path, doc["kernels"], KERNEL_FIELDS, "kernels")
+    check_rows(path, doc["speedups"], SPEEDUP_FIELDS, "speedups")
+
+    names = {row["name"] for row in doc["kernels"]}
+    missing = REQUIRED_KERNELS - names
+    if missing:
+        fail(path, f"missing required kernels: {sorted(missing)}")
+
+    # Cross-variant checksum agreement (the bit-exactness double-check).
+    by_key = {}
+    for row in doc["kernels"]:
+        key = (row["name"], row["n"])
+        if key in by_key and by_key[key] != row["checksum"]:
+            fail(path, f"checksum mismatch across variants of {key}")
+        by_key[key] = row["checksum"]
+
+    print(f"{path}: OK ({len(doc['kernels'])} kernel rows, "
+          f"{len(doc['speedups'])} speedups)")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 2:
+        print(__doc__)
+        sys.exit(2)
+    for p in sys.argv[1:]:
+        validate(p)
