@@ -1,9 +1,17 @@
 /// \file perf_regression.cpp
-/// The perf-regression bench: times the four pipeline kernels (bounded BFS,
-/// clustering, backbone build, engine flood) at several node counts, checks
-/// that the workspace paths compute bit-identical results to the preserved
-/// legacy implementations (via output checksums), and emits the
-/// schema-versioned trajectory JSON (`BENCH_PR3.json` by default).
+/// The perf-regression bench: times the pipeline kernels (bounded BFS,
+/// clustering, backbone build per paper pipeline, engine flood) at several
+/// node counts, checks that the optimized paths compute bit-identical
+/// results to the preserved legacy implementations (via output checksums),
+/// and emits the schema-versioned trajectory JSON (`BENCH_PR4.json` by
+/// default).
+///
+/// Backbone kernels (PR 4): every paper pipeline is timed as `legacy` (the
+/// preserved reference two-pass construction: per-head all-heads probes +
+/// unbounded per-source BFS link build) vs `workspace` (fused bounded
+/// sweeps); the AC-LMST trajectory kernel (`backbone`) additionally gets a
+/// `parallel` variant running the same sweeps across a hardware ThreadPool.
+/// Matching checksums across variants double-check bit-exactness.
 ///
 /// Usage:
 ///   bench_perf_regression [--out FILE] [--sizes n1,n2,...] [--k K]
@@ -20,8 +28,10 @@
 #include "harness/harness.hpp"
 #include "khop/cluster/reference.hpp"
 #include "khop/exp/experiment.hpp"
+#include "khop/gateway/reference.hpp"
 #include "khop/graph/bfs_reference.hpp"
 #include "khop/net/generator.hpp"
+#include "khop/runtime/thread_pool.hpp"
 #include "khop/runtime/workspace.hpp"
 #include "khop/sim/protocols/neighborhood.hpp"
 
@@ -30,7 +40,7 @@ namespace {
 using namespace khop;
 
 struct Options {
-  std::string out = "BENCH_PR3.json";
+  std::string out = "BENCH_PR4.json";
   std::vector<std::size_t> sizes = {500, 2000, 8000};
   Hops k = 2;
   double degree = 8.0;
@@ -84,9 +94,25 @@ Options parse_args(int argc, char** argv) {
 /// checksum cost.
 double probe(Hops d) { return d == kUnreachable ? -1.0 : d; }
 
+/// The five pipelines as bench kernels. AC-LMST keeps the plain `backbone`
+/// name so the trajectory rows stay comparable with BENCH_PR3.json.
+struct PipelineKernel {
+  Pipeline pipeline;
+  const char* name;
+};
+
+constexpr PipelineKernel kPipelineKernels[] = {
+    {Pipeline::kAcLmst, "backbone"},
+    {Pipeline::kNcMesh, "backbone_nc_mesh"},
+    {Pipeline::kAcMesh, "backbone_ac_mesh"},
+    {Pipeline::kNcLmst, "backbone_nc_lmst"},
+    {Pipeline::kGmst, "backbone_gmst"},
+};
+
 /// Returns the realized node count benched (rows are keyed by it), or 0 if
 /// this point was skipped.
 std::size_t bench_point(bench::Harness& h, const Options& opt, std::size_t n,
+                        ThreadPool& pool,
                         const std::vector<std::size_t>& already_benched) {
   // Calibrated connected topology, identical for every kernel at this n.
   ExperimentConfig cal;
@@ -153,15 +179,29 @@ std::size_t bench_point(bench::Harness& h, const Options& opt, std::size_t n,
         khop_clustering(g, k, priorities, AffiliationRule::kIdBased, ws));
   });
 
-  // Kernel 3: phase-2 backbone build (AC-LMST) over a fixed clustering.
+  // Kernel 3: phase-2 backbone build over a fixed clustering, one kernel
+  // per paper pipeline, legacy (reference two-pass) vs workspace (fused
+  // bounded sweeps) vs parallel (AC-LMST only).
   const Clustering c =
       khop_clustering(g, k, priorities, AffiliationRule::kIdBased, ws);
-  h.time_kernel("backbone", "workspace", n, k, [&] {
-    const Backbone b = build_backbone(g, c, Pipeline::kAcLmst, ws);
+  const auto backbone_checksum = [](const Backbone& b) {
     double sum = static_cast<double>(b.cds_size());
     for (NodeId gw : b.gateways) sum += gw;
     return sum;
-  });
+  };
+  for (const PipelineKernel& pk : kPipelineKernels) {
+    h.time_kernel(pk.name, "legacy", n, k, [&] {
+      return backbone_checksum(reference::build_backbone(g, c, pk.pipeline));
+    });
+    h.time_kernel(pk.name, "workspace", n, k, [&] {
+      return backbone_checksum(build_backbone(g, c, pk.pipeline, ws));
+    });
+    if (pk.pipeline == Pipeline::kAcLmst) {
+      h.time_kernel(pk.name, "parallel", n, k, [&] {
+        return backbone_checksum(build_backbone(g, c, pk.pipeline, pool));
+      });
+    }
+  }
 
   // Kernel 4: engine flood - k-hop neighborhood discovery by bounded
   // flooding over the arena-backed engine.
@@ -175,6 +215,7 @@ std::size_t bench_point(bench::Harness& h, const Options& opt, std::size_t n,
   });
 
   std::cout << " clustering speedup x" << fmt(h.speedup("clustering", n), 2)
+            << ", backbone speedup x" << fmt(h.speedup("backbone", n), 2)
             << "\n";
   return n;
 }
@@ -183,11 +224,12 @@ std::size_t bench_point(bench::Harness& h, const Options& opt, std::size_t n,
 
 int main(int argc, char** argv) {
   const Options opt = parse_args(argc, argv);
-  bench::Harness harness("PR3", {3, opt.min_seconds});
+  bench::Harness harness("PR4", {3, opt.min_seconds});
+  ThreadPool pool;  // hardware concurrency, for the parallel backbone rows
 
   std::vector<std::size_t> benched;
   for (std::size_t n : opt.sizes) {
-    const std::size_t realized = bench_point(harness, opt, n, benched);
+    const std::size_t realized = bench_point(harness, opt, n, pool, benched);
     if (realized != 0) benched.push_back(realized);
   }
 

@@ -1,9 +1,13 @@
 #include "khop/gateway/backbone.hpp"
 
+#include <utility>
+
 #include "khop/common/assert.hpp"
 #include "khop/gateway/gmst.hpp"
+#include "khop/gateway/head_sweep.hpp"
 #include "khop/gateway/lmst.hpp"
 #include "khop/gateway/mesh.hpp"
+#include "khop/runtime/thread_pool.hpp"
 #include "khop/runtime/workspace.hpp"
 
 namespace khop {
@@ -72,22 +76,46 @@ std::vector<NodeRole> Backbone::roles(std::size_t n) const {
   return r;
 }
 
-Backbone build_backbone(const Graph& g, const Clustering& c,
-                        const BackboneSpec& spec, Workspace& ws) {
+namespace {
+
+/// One of \p ws / \p pool is set; pool selects the parallel sweep variants.
+Backbone build_backbone_impl(const Graph& g, const Clustering& c,
+                             const BackboneSpec& spec, Workspace* ws,
+                             ThreadPool* pool) {
   Backbone b;
   b.spec = spec;
   b.heads = c.heads;
 
   if (spec.gateway == GatewayAlgorithm::kGmst) {
-    GmstResult r = gmst_gateways(g, c);
+    GmstResult r =
+        pool != nullptr ? gmst_gateways(g, c, *pool) : gmst_gateways(g, c, *ws);
     b.gateways = std::move(r.gateways);
     b.virtual_links = std::move(r.kept_links);
     return b;
   }
 
-  const NeighborSelection sel =
-      select_neighbors(g, c, spec.neighbor_rule, ws);
-  const VirtualLinkMap links = VirtualLinkMap::build(g, sel.head_pairs, ws);
+  NeighborSelection sel;
+  VirtualLinkMap links;
+  if (spec.neighbor_rule == NeighborRule::kAllWithin2k1) {
+    // NC: one fused sweep per head discovers neighbor heads AND extracts
+    // their virtual links (no separate per-source BFS pass at all).
+    HeadSweep sweep =
+        pool != nullptr ? nc_sweep(g, c, *pool) : nc_sweep(g, c, *ws);
+    sel = std::move(sweep.sel);
+    links = std::move(sweep.links);
+  } else {
+    // AC / Wu-Lou selections need no BFS of their own (adjacency scan /
+    // horizon-3 sweeps); their pairs all sit within 2k+1 hops, so link
+    // extraction runs horizon-bounded.
+    sel = select_neighbors(g, c, spec.neighbor_rule,
+                           pool != nullptr ? tls_workspace() : *ws);
+    const Hops horizon = 2 * c.k + 1;
+    links = pool != nullptr
+                ? VirtualLinkMap::build_bounded(g, sel.head_pairs, horizon,
+                                                *pool)
+                : VirtualLinkMap::build_bounded(g, sel.head_pairs, horizon,
+                                                *ws);
+  }
 
   if (spec.gateway == GatewayAlgorithm::kMesh) {
     MeshResult r = mesh_gateways(c, sel, links);
@@ -101,6 +129,18 @@ Backbone build_backbone(const Graph& g, const Clustering& c,
   return b;
 }
 
+}  // namespace
+
+Backbone build_backbone(const Graph& g, const Clustering& c,
+                        const BackboneSpec& spec, Workspace& ws) {
+  return build_backbone_impl(g, c, spec, &ws, nullptr);
+}
+
+Backbone build_backbone(const Graph& g, const Clustering& c,
+                        const BackboneSpec& spec, ThreadPool& pool) {
+  return build_backbone_impl(g, c, spec, nullptr, &pool);
+}
+
 Backbone build_backbone(const Graph& g, const Clustering& c,
                         const BackboneSpec& spec) {
   return build_backbone(g, c, spec, tls_workspace());
@@ -109,6 +149,13 @@ Backbone build_backbone(const Graph& g, const Clustering& c,
 Backbone build_backbone(const Graph& g, const Clustering& c, Pipeline p,
                         Workspace& ws) {
   Backbone b = build_backbone(g, c, spec_for(p), ws);
+  b.pipeline = p;
+  return b;
+}
+
+Backbone build_backbone(const Graph& g, const Clustering& c, Pipeline p,
+                        ThreadPool& pool) {
+  Backbone b = build_backbone(g, c, spec_for(p), pool);
   b.pipeline = p;
   return b;
 }

@@ -82,12 +82,27 @@ Backbone build_backbone(const Graph& g, const Clustering& c,
                         const BackboneSpec& spec);
 
 struct Workspace;
+class ThreadPool;
 
 /// Workspace variants: neighbor selection and virtual-link BFS runs reuse
 /// \p ws. Bit-identical output; the overloads above forward here.
+///
+/// All per-head BFS work is bounded to the paper's 2k+1 structural horizon,
+/// and the NC rule runs as ONE fused sweep per head (discovery + link
+/// extraction, see gateway/head_sweep.hpp).
 Backbone build_backbone(const Graph& g, const Clustering& c, Pipeline p,
                         Workspace& ws);
 Backbone build_backbone(const Graph& g, const Clustering& c,
                         const BackboneSpec& spec, Workspace& ws);
+
+/// Parallel variants: the per-head sweeps (NC discovery + link extraction,
+/// AC/G-MST link extraction, G-MST head-graph build) fan out across \p pool;
+/// each worker uses its thread's tls_workspace() and results merge in
+/// head-index order, so the output is bit-identical to the serial overloads
+/// for any thread count.
+Backbone build_backbone(const Graph& g, const Clustering& c, Pipeline p,
+                        ThreadPool& pool);
+Backbone build_backbone(const Graph& g, const Clustering& c,
+                        const BackboneSpec& spec, ThreadPool& pool);
 
 }  // namespace khop

@@ -1,33 +1,76 @@
 #include "khop/gateway/gmst.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "khop/common/assert.hpp"
-#include "khop/graph/bfs.hpp"
+#include "khop/common/error.hpp"
+#include "khop/runtime/thread_pool.hpp"
+#include "khop/runtime/workspace.hpp"
 
 namespace khop {
 
-GmstResult gmst_gateways(const Graph& g, const Clustering& c) {
+namespace {
+
+/// One head's virtual edges (i, j, d) for neighbor heads j > i inside the
+/// horizon, read off the sweep's reached set. Emitting only j > i (heads
+/// ascend in id, so w > u <=> j > i) yields each undirected edge once.
+void head_edges_one(const Graph& g, const Clustering& c, std::uint32_t i,
+                    Hops horizon, Workspace& ws,
+                    std::vector<WeightedEdge>& out) {
+  const NodeId u = c.heads[i];
+  ws.bfs.run(g, u, horizon);
+  for (NodeId w : ws.bfs.reached()) {
+    if (w <= u || !c.is_head(w)) continue;
+    out.push_back({i, c.cluster_of[w], ws.bfs.dist(w)});
+  }
+}
+
+std::vector<WeightedEdge> head_edges(const Graph& g, const Clustering& c,
+                                     Hops horizon, Workspace* ws,
+                                     ThreadPool* pool) {
+  const std::size_t h = c.heads.size();
+  std::vector<std::vector<WeightedEdge>> slots(h);
+  if (pool != nullptr) {
+    parallel_for_throwing(*pool, h, [&](std::size_t i) {
+      head_edges_one(g, c, static_cast<std::uint32_t>(i), horizon,
+                     tls_workspace(), slots[i]);
+    });
+  } else {
+    for (std::uint32_t i = 0; i < h; ++i) {
+      head_edges_one(g, c, i, horizon, *ws, slots[i]);
+    }
+  }
+  std::vector<WeightedEdge> edges;
+  for (auto& s : slots) {
+    edges.insert(edges.end(), s.begin(), s.end());
+  }
+  return edges;
+}
+
+GmstResult gmst_impl(const Graph& g, const Clustering& c, Workspace* ws,
+                     ThreadPool* pool) {
   KHOP_REQUIRE(!c.heads.empty(), "clustering has no heads");
   const std::size_t h = c.heads.size();
+  const Hops horizon = 2 * c.k + 1;
 
-  // Complete virtual graph over heads; indices into c.heads.
-  std::vector<WeightedEdge> edges;
-  edges.reserve(h * (h - 1) / 2);
-  for (std::size_t i = 0; i < h; ++i) {
-    const BfsTree tree = bfs(g, c.heads[i]);
-    for (std::size_t j = i + 1; j < h; ++j) {
-      const Hops d = tree.dist[c.heads[j]];
-      KHOP_ASSERT(d != kUnreachable, "heads disconnected in G");
-      edges.push_back(
-          {static_cast<NodeId>(i), static_cast<NodeId>(j), d});
-    }
+  std::vector<WeightedEdge> tree;
+  try {
+    tree = kruskal_mst(h, head_edges(g, c, horizon, ws, pool));
+  } catch (const NotConnected&) {
+    // The bounded head graph spans whenever every node is within k hops of
+    // its head (see file comment); an invariant-violating clustering gets
+    // the complete virtual graph instead. Kruskal's order is a strict total
+    // order on head pairs, and every omitted edge sorts after the spanning
+    // bounded set, so on spanning inputs both graphs give the same MST.
+    tree = kruskal_mst(h, head_edges(g, c, kUnreachable, ws, pool));
   }
 
   GmstResult r;
   // Head indices are ascending in id, so index tie-breaking == id
   // tie-breaking; translate back to ids afterwards.
-  for (const auto& e : kruskal_mst(h, std::move(edges))) {
+  r.tree.reserve(tree.size());
+  for (const auto& e : tree) {
     r.tree.push_back({c.heads[e.u], c.heads[e.v], e.weight});
   }
 
@@ -36,7 +79,9 @@ GmstResult gmst_gateways(const Graph& g, const Clustering& c) {
   for (const auto& e : r.tree) {
     pairs.emplace_back(std::min(e.u, e.v), std::max(e.u, e.v));
   }
-  const VirtualLinkMap links = VirtualLinkMap::build(g, pairs);
+  const VirtualLinkMap links =
+      pool != nullptr ? VirtualLinkMap::build_bounded(g, pairs, horizon, *pool)
+                      : VirtualLinkMap::build_bounded(g, pairs, horizon, *ws);
 
   std::sort(pairs.begin(), pairs.end());
   r.kept_links = pairs;
@@ -51,6 +96,21 @@ GmstResult gmst_gateways(const Graph& g, const Clustering& c) {
   r.gateways.erase(std::unique(r.gateways.begin(), r.gateways.end()),
                    r.gateways.end());
   return r;
+}
+
+}  // namespace
+
+GmstResult gmst_gateways(const Graph& g, const Clustering& c, Workspace& ws) {
+  return gmst_impl(g, c, &ws, nullptr);
+}
+
+GmstResult gmst_gateways(const Graph& g, const Clustering& c) {
+  return gmst_impl(g, c, &tls_workspace(), nullptr);
+}
+
+GmstResult gmst_gateways(const Graph& g, const Clustering& c,
+                         ThreadPool& pool) {
+  return gmst_impl(g, c, nullptr, &pool);
 }
 
 }  // namespace khop

@@ -1,8 +1,18 @@
 /// \file gmst.hpp
 /// G-MST: the centralized global-minimum-spanning-tree baseline the paper
-/// uses as a lower bound. Builds the complete virtual graph over all
-/// clusterheads (weight = hop distance in G), takes its MST, and marks the
-/// interior nodes of the tree edges' canonical shortest paths as gateways.
+/// uses as a lower bound. Builds the virtual graph over all clusterheads
+/// (weight = hop distance in G), takes its MST, and marks the interior nodes
+/// of the tree edges' canonical shortest paths as gateways.
+///
+/// PR4: the virtual graph is built from one 2k+1-BOUNDED BFS per head
+/// (neighbor heads read off the reached set) instead of one unbounded BFS
+/// per head probing all H heads. Dropping the > 2k+1 edges cannot change the
+/// MST: every node sits within k hops of its head, so walking any shortest
+/// path between two heads yields a head chain whose edges are all <= 2k+1 —
+/// a cycle in which any longer edge is the strict maximum (cycle property).
+/// If the bounded head graph fails to span (input violating the clustering
+/// invariant), the build transparently falls back to the complete graph, so
+/// the output stays bit-identical to the reference on every spanning input.
 #pragma once
 
 #include <vector>
@@ -12,6 +22,9 @@
 #include "khop/graph/mst.hpp"
 
 namespace khop {
+
+struct Workspace;
+class ThreadPool;
 
 struct GmstResult {
   /// MST edges over head ids (weights are hop distances).
@@ -24,5 +37,13 @@ struct GmstResult {
 
 /// Computes the G-MST backbone for \p c over \p g.
 GmstResult gmst_gateways(const Graph& g, const Clustering& c);
+
+/// Workspace variant: per-head sweeps and link extraction reuse \p ws.
+GmstResult gmst_gateways(const Graph& g, const Clustering& c, Workspace& ws);
+
+/// Parallel variant: per-head sweeps fan out across \p pool (per-worker
+/// tls workspaces), merged in head order. Bit-identical output.
+GmstResult gmst_gateways(const Graph& g, const Clustering& c,
+                         ThreadPool& pool);
 
 }  // namespace khop

@@ -1,0 +1,88 @@
+#include "khop/gateway/head_sweep.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "khop/common/assert.hpp"
+#include "khop/runtime/thread_pool.hpp"
+#include "khop/runtime/workspace.hpp"
+
+namespace khop {
+
+namespace {
+
+/// One head's share of the fused pass: neighbor heads discovered from the
+/// sweep's reached set, and the canonical links for the pairs this head
+/// sources (v > u, extracted from the same BFS state). `selected` is left
+/// sorted ascending; links are emitted in ascending target order, matching
+/// the source-major/ascending-target order of the grouped build.
+struct PerHead {
+  std::vector<NodeId> selected;
+  std::vector<VirtualLink> links;
+};
+
+void sweep_one(const Graph& g, const Clustering& c, NodeId u, Hops horizon,
+               Workspace& ws, PerHead& out) {
+  ws.bfs.run(g, u, horizon);
+  for (NodeId w : ws.bfs.reached()) {
+    if (w == u || !c.is_head(w)) continue;
+    out.selected.push_back(w);
+  }
+  // The reached set is level-ordered; selection lists and link targets are
+  // id-ordered, so sort once here (NC discovery never yields duplicates).
+  std::sort(out.selected.begin(), out.selected.end());
+  for (NodeId v : out.selected) {
+    if (v <= u) continue;  // pair (v, u) is extracted during v's own sweep
+    VirtualLink link;
+    link.u = u;
+    link.v = v;
+    link.hops = ws.bfs.dist(v);
+    link.path = ws.bfs.extract_path(v);
+    out.links.push_back(std::move(link));
+  }
+}
+
+/// Head-index-ordered merge of the per-head slices into the two phase-1
+/// outputs. Heads ascend in id, so link order is source-major ascending —
+/// the same order VirtualLinkMap::build produces.
+HeadSweep merge(const Clustering& c, std::vector<PerHead> slots) {
+  HeadSweep r;
+  r.sel.rule = NeighborRule::kAllWithin2k1;
+  r.sel.selected.resize(c.heads.size());
+  std::vector<VirtualLink> links;
+  for (std::uint32_t i = 0; i < c.heads.size(); ++i) {
+    const NodeId u = c.heads[i];
+    for (NodeId v : slots[i].selected) {
+      r.sel.head_pairs.emplace_back(std::min(u, v), std::max(u, v));
+    }
+    r.sel.selected[i] = std::move(slots[i].selected);
+    for (VirtualLink& l : slots[i].links) links.push_back(std::move(l));
+  }
+  r.sel = finalize_selection(std::move(r.sel));
+  r.links = VirtualLinkMap::from_links(std::move(links));
+  return r;
+}
+
+}  // namespace
+
+HeadSweep nc_sweep(const Graph& g, const Clustering& c, Workspace& ws) {
+  KHOP_REQUIRE(!c.heads.empty(), "clustering has no heads");
+  const Hops horizon = 2 * c.k + 1;
+  std::vector<PerHead> slots(c.heads.size());
+  for (std::uint32_t i = 0; i < c.heads.size(); ++i) {
+    sweep_one(g, c, c.heads[i], horizon, ws, slots[i]);
+  }
+  return merge(c, std::move(slots));
+}
+
+HeadSweep nc_sweep(const Graph& g, const Clustering& c, ThreadPool& pool) {
+  KHOP_REQUIRE(!c.heads.empty(), "clustering has no heads");
+  const Hops horizon = 2 * c.k + 1;
+  std::vector<PerHead> slots(c.heads.size());
+  parallel_for_throwing(pool, c.heads.size(), [&](std::size_t i) {
+    sweep_one(g, c, c.heads[i], horizon, tls_workspace(), slots[i]);
+  });
+  return merge(c, std::move(slots));
+}
+
+}  // namespace khop

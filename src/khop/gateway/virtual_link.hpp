@@ -18,6 +18,7 @@
 namespace khop {
 
 struct Workspace;
+class ThreadPool;
 
 struct VirtualLink {
   NodeId u = kInvalidNode;  ///< smaller head id
@@ -30,7 +31,7 @@ struct VirtualLink {
 class VirtualLinkMap {
  public:
   /// Builds links for all \p pairs (unordered (min,max) head-id pairs).
-  /// One BFS per distinct smaller endpoint.
+  /// One unbounded BFS per distinct smaller endpoint.
   static VirtualLinkMap build(
       const Graph& g, const std::vector<std::pair<NodeId, NodeId>>& pairs);
 
@@ -40,6 +41,35 @@ class VirtualLinkMap {
       const Graph& g, const std::vector<std::pair<NodeId, NodeId>>& pairs,
       Workspace& ws);
 
+  /// Horizon-bounded build: each per-source sweep stops at \p horizon hops.
+  /// The paper's structure guarantees every selected pair lies within
+  /// 2k+1 hops, so backbone construction passes that bound; a pair whose
+  /// endpoints are farther apart (invariant-violating input) transparently
+  /// reruns its source unbounded, so the output — including the
+  /// NotConnected throw for truly disconnected endpoints — is bit-identical
+  /// to the unbounded build on EVERY input. Pass kUnreachable for an
+  /// unbounded build (what build() does).
+  static VirtualLinkMap build_bounded(
+      const Graph& g, const std::vector<std::pair<NodeId, NodeId>>& pairs,
+      Hops horizon, Workspace& ws);
+
+  static VirtualLinkMap build_bounded(
+      const Graph& g, const std::vector<std::pair<NodeId, NodeId>>& pairs,
+      Hops horizon);
+
+  /// Parallel bounded build: per-source sweeps fan out across \p pool's
+  /// workers (each using its thread's tls_workspace()) and merge in
+  /// ascending source order, so the output is bit-identical to the serial
+  /// overloads for any thread count.
+  static VirtualLinkMap build_bounded(
+      const Graph& g, const std::vector<std::pair<NodeId, NodeId>>& pairs,
+      Hops horizon, ThreadPool& pool);
+
+  /// Adopts already-extracted links. \pre each link has u < v; no duplicate
+  /// (u,v) keys. Used by the fused NC sweep (gateway/head_sweep.hpp), which
+  /// extracts links during head discovery, and by the reference oracle.
+  static VirtualLinkMap from_links(std::vector<VirtualLink> links);
+
   /// Link for the unordered pair {a, b}. Throws InvalidArgument if absent.
   const VirtualLink& link(NodeId a, NodeId b) const;
 
@@ -47,9 +77,14 @@ class VirtualLinkMap {
 
   const std::vector<VirtualLink>& all() const noexcept { return links_; }
 
+  /// Number of sources whose bounded sweep missed a target and was rerun
+  /// unbounded (0 whenever the 2k+1 invariant holds; diagnostic only).
+  std::size_t bounded_fallbacks() const noexcept { return bounded_fallbacks_; }
+
  private:
   std::vector<VirtualLink> links_;
   std::unordered_map<std::uint64_t, std::size_t> index_;
+  std::size_t bounded_fallbacks_ = 0;
 
   static std::uint64_t key(NodeId a, NodeId b) noexcept;
 };

@@ -19,6 +19,7 @@ void BfsScratch::begin(std::size_t n) {
   }
   ++epoch_;
   reached_.clear();
+  level_end_.clear();
   frontier_.clear();
   next_.clear();
 }
@@ -31,6 +32,7 @@ void BfsScratch::run(const Graph& g, NodeId source, Hops max_hops) {
   dist_[source] = 0;
   parent_[source] = kInvalidNode;
   reached_.push_back(source);
+  level_end_.push_back(reached_.size());
 
   frontier_.push_back(source);
   Hops level = 0;
@@ -50,6 +52,7 @@ void BfsScratch::run(const Graph& g, NodeId source, Hops max_hops) {
     // canonical min-id parent guarantee for the next level (see bfs.cpp).
     std::sort(next_.begin(), next_.end());
     reached_.insert(reached_.end(), next_.begin(), next_.end());
+    if (!next_.empty()) level_end_.push_back(reached_.size());
     frontier_.swap(next_);
     ++level;
   }
@@ -67,6 +70,7 @@ void BfsScratch::run_multi(const Graph& g, std::span<const NodeId> seeds) {
   }
   std::sort(frontier_.begin(), frontier_.end());
   reached_.insert(reached_.end(), frontier_.begin(), frontier_.end());
+  if (!frontier_.empty()) level_end_.push_back(reached_.size());
 
   Hops level = 0;
   while (!frontier_.empty()) {
@@ -87,6 +91,7 @@ void BfsScratch::run_multi(const Graph& g, std::span<const NodeId> seeds) {
     std::sort(next_.begin(), next_.end());
     next_.erase(std::unique(next_.begin(), next_.end()), next_.end());
     reached_.insert(reached_.end(), next_.begin(), next_.end());
+    if (!next_.empty()) level_end_.push_back(reached_.size());
     frontier_.swap(next_);
     ++level;
   }

@@ -56,6 +56,14 @@ class BfsScratch {
   /// level by level, ascending id within each level.
   std::span<const NodeId> reached() const noexcept { return reached_; }
 
+  /// The nodes of the last run at distance <= \p d: a prefix of reached()
+  /// (levels are contiguous), so scans bounded by distance pay only for the
+  /// nodes they look at. d past the last level returns all of reached().
+  std::span<const NodeId> reached_within(Hops d) const noexcept {
+    if (d >= level_end_.size()) return reached_;
+    return {reached_.data(), level_end_[d]};
+  }
+
   /// Source of the last single-source run.
   NodeId source() const noexcept { return source_; }
 
@@ -72,6 +80,7 @@ class BfsScratch {
   std::vector<Hops> dist_;
   std::vector<NodeId> parent_;  ///< parent (single-source) or owner (multi)
   std::vector<NodeId> reached_;
+  std::vector<std::size_t> level_end_;  ///< level_end_[d] = #reached at <= d
   std::vector<NodeId> frontier_;
   std::vector<NodeId> next_;
   NodeId source_ = kInvalidNode;

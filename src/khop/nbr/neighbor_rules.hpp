@@ -52,4 +52,10 @@ NeighborSelection select_neighbors(const Graph& g, const Clustering& c,
 std::vector<std::pair<std::uint32_t, std::uint32_t>> adjacent_cluster_pairs(
     const Graph& g, const Clustering& c);
 
+/// Canonicalizes a raw selection: sorts + uniques every selected list and the
+/// head-pair closure. All selection producers (the rules above and the fused
+/// NC sweep in gateway/head_sweep.hpp) funnel through this, so their outputs
+/// are comparable bit-for-bit.
+NeighborSelection finalize_selection(NeighborSelection sel);
+
 }  // namespace khop

@@ -1,6 +1,7 @@
 #include "khop/runtime/thread_pool.hpp"
 
 #include <algorithm>
+#include <exception>
 
 #include "khop/common/assert.hpp"
 
@@ -74,6 +75,25 @@ void parallel_for(ThreadPool& pool, std::size_t count,
     });
   }
   pool.wait_idle();
+}
+
+void parallel_for_throwing(ThreadPool& pool, std::size_t count,
+                           const std::function<void(std::size_t)>& fn) {
+  std::mutex mu;
+  std::size_t first_index = count;
+  std::exception_ptr first;
+  parallel_for(pool, count, [&](std::size_t i) {
+    try {
+      fn(i);
+    } catch (...) {
+      std::scoped_lock lock(mu);
+      if (i < first_index) {
+        first_index = i;
+        first = std::current_exception();
+      }
+    }
+  });
+  if (first) std::rethrow_exception(first);
 }
 
 }  // namespace khop

@@ -55,4 +55,12 @@ class ThreadPool {
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& fn);
 
+/// parallel_for for fallible bodies: exceptions thrown by fn are captured
+/// per index and the one with the LOWEST index is rethrown on the calling
+/// thread after every task has finished — the same exception a serial
+/// ascending loop would surface, independent of scheduling. (Plain
+/// parallel_for lets an exception escape a worker and terminate.)
+void parallel_for_throwing(ThreadPool& pool, std::size_t count,
+                           const std::function<void(std::size_t)>& fn);
+
 }  // namespace khop

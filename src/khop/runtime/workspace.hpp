@@ -60,6 +60,29 @@ class DistCache {
   std::vector<std::vector<Hops>> rows_;
 };
 
+/// Epoch-stamped boolean set over dense indices: set/test are O(1) and
+/// begin() clears in O(1) amortized (no per-generation fill). Backs the
+/// per-cluster coverage marks of the Wu-Lou neighbor rule.
+class EpochFlags {
+ public:
+  /// Opens a fresh (all-false) generation over indices [0, n).
+  void begin(std::size_t n) {
+    if (stamp_.size() < n) stamp_.resize(n, 0);
+    if (epoch_ == std::numeric_limits<std::uint32_t>::max()) {
+      std::fill(stamp_.begin(), stamp_.end(), 0);
+      epoch_ = 0;
+    }
+    ++epoch_;
+  }
+
+  void set(std::size_t i) noexcept { stamp_[i] = epoch_; }
+  bool test(std::size_t i) const noexcept { return stamp_[i] == epoch_; }
+
+ private:
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> stamp_;
+};
+
 /// The per-thread scratch bundle threaded through the hot paths.
 struct Workspace {
   /// Primary BFS scratch (clustering election, neighbor rules, floods).
@@ -68,6 +91,8 @@ struct Workspace {
   BfsScratch bfs2;
   /// Bounded-distance ball cache (krishna_kclusters).
   DistCache ball_cache;
+  /// Epoch-stamped flag set (neighbor-rule coverage marks).
+  EpochFlags flags;
   /// General-purpose node id buffer.
   std::vector<NodeId> node_buf;
 };

@@ -10,6 +10,7 @@
 #include "khop/graph/components.hpp"
 #include "khop/nbr/cluster_graph.hpp"
 #include "khop/nbr/neighbor_rules.hpp"
+#include "khop/nbr/reference.hpp"
 #include "khop/net/generator.hpp"
 
 namespace khop {
@@ -142,6 +143,35 @@ TEST(SelectionGraph, MatchesAdjacentClusterGraph) {
   const Graph gadj = adjacent_cluster_graph(g, c);
   EXPECT_EQ(gsel.edge_list(), gadj.edge_list());
   EXPECT_TRUE(is_connected(gsel));
+}
+
+// PR 4 rewrote the production rules (reached-set head scans, flat-vector
+// adjacent pairs, precomputed Wu-Lou coverage marks); the preserved verbatim
+// originals must agree bit-for-bit on random topologies.
+TEST(NeighborOracle, ProductionMatchesReferenceOnRandomTopologies) {
+  Rng rng(505);
+  GeneratorConfig cfg;
+  for (const std::size_t n : {60u, 110u, 160u}) {
+    cfg.num_nodes = n;
+    const AdHocNetwork net = generate_network(cfg, rng);
+    for (Hops k = 1; k <= 3; ++k) {
+      const Clustering c = khop_clustering(net.graph, k);
+      EXPECT_EQ(adjacent_cluster_pairs(net.graph, c),
+                reference::adjacent_cluster_pairs(net.graph, c))
+          << "n=" << n << " k=" << k;
+      for (const NeighborRule rule :
+           {NeighborRule::kAllWithin2k1, NeighborRule::kAdjacent,
+            NeighborRule::kWuLou25}) {
+        if (rule == NeighborRule::kWuLou25 && k != 1) continue;
+        const NeighborSelection got = select_neighbors(net.graph, c, rule);
+        const NeighborSelection want =
+            reference::select_neighbors(net.graph, c, rule);
+        EXPECT_EQ(got.rule, want.rule);
+        EXPECT_EQ(got.selected, want.selected) << "n=" << n << " k=" << k;
+        EXPECT_EQ(got.head_pairs, want.head_pairs) << "n=" << n << " k=" << k;
+      }
+    }
+  }
 }
 
 TEST(SelectionGraph, WuLouStillConnectsAllHeads) {
