@@ -3,7 +3,7 @@
 /// clustering, backbone build per paper pipeline, engine flood) at several
 /// node counts, checks that the optimized paths compute bit-identical
 /// results to the preserved legacy implementations (via output checksums),
-/// and emits the schema-versioned trajectory JSON (`BENCH_PR4.json` by
+/// and emits the schema-versioned trajectory JSON (`BENCH_PR5.json` by
 /// default).
 ///
 /// Backbone kernels (PR 4): every paper pipeline is timed as `legacy` (the
@@ -12,6 +12,14 @@
 /// sweeps); the AC-LMST trajectory kernel (`backbone`) additionally gets a
 /// `parallel` variant running the same sweeps across a hardware ThreadPool.
 /// Matching checksums across variants double-check bit-exactness.
+///
+/// Engine kernels (PR 5): `engine_flood` is timed as `legacy` (the preserved
+/// pre-PR5 engine: one flat O(M log M) sort over all in-flight messages per
+/// round + std::map discovery agent, sim/reference.hpp), `workspace` (the
+/// receiver-batched engine + flat KnownTable agent) and `parallel` (the same
+/// over the hardware ThreadPool round executor). The checksum digests every
+/// node's discovered (origin, dist, parent) set, so a single reordered or
+/// lost delivery shows up as cross-variant checksum drift.
 ///
 /// Usage:
 ///   bench_perf_regression [--out FILE] [--sizes n1,n2,...] [--k K]
@@ -34,13 +42,14 @@
 #include "khop/runtime/thread_pool.hpp"
 #include "khop/runtime/workspace.hpp"
 #include "khop/sim/protocols/neighborhood.hpp"
+#include "khop/sim/reference.hpp"
 
 namespace {
 
 using namespace khop;
 
 struct Options {
-  std::string out = "BENCH_PR4.json";
+  std::string out = "BENCH_PR5.json";
   std::vector<std::size_t> sizes = {500, 2000, 8000};
   Hops k = 2;
   double degree = 8.0;
@@ -204,19 +213,60 @@ std::size_t bench_point(bench::Harness& h, const Options& opt, std::size_t n,
   }
 
   // Kernel 4: engine flood - k-hop neighborhood discovery by bounded
-  // flooding over the arena-backed engine.
+  // flooding, legacy (preserved flat-sort engine + std::map agent) vs
+  // workspace (receiver-batched engine + flat KnownTable agent) vs parallel
+  // (the ThreadPool round executor). The digest folds in every node's
+  // discovered (origin, dist, parent) records, all integer-valued and well
+  // inside double precision, so the sums are exact and iteration-order
+  // independent.
+  h.time_kernel("engine_flood", "legacy", n, k, [&] {
+    reference::SyncEngine engine(g, [&](NodeId) {
+      return std::make_unique<reference::NeighborhoodDiscoveryAgent>(k);
+    });
+    engine.run(2 * k + 2);
+    double sum = static_cast<double>(engine.stats().receptions +
+                                     engine.stats().rounds);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const auto& agent =
+          dynamic_cast<const reference::NeighborhoodDiscoveryAgent&>(
+              engine.agent(v));
+      for (const auto& [origin, rec] : agent.known()) {
+        sum += origin + 31.0 * rec.dist + 7.0 * rec.parent;
+      }
+    }
+    return sum;
+  });
+  const auto flood_digest = [&](const SyncEngine& engine) {
+    double sum = static_cast<double>(engine.stats().receptions +
+                                     engine.stats().rounds);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const auto& agent =
+          dynamic_cast<const NeighborhoodDiscoveryAgent&>(engine.agent(v));
+      agent.known().for_each([&](NodeId origin, const KnownRecord& rec) {
+        sum += origin + 31.0 * rec.dist + 7.0 * rec.parent;
+      });
+    }
+    return sum;
+  };
   h.time_kernel("engine_flood", "workspace", n, k, [&] {
     SyncEngine engine(g, [&](NodeId) {
       return std::make_unique<NeighborhoodDiscoveryAgent>(k);
     });
     engine.run(2 * k + 2);
-    return static_cast<double>(engine.stats().receptions +
-                               engine.stats().rounds);
+    return flood_digest(engine);
+  });
+  h.time_kernel("engine_flood", "parallel", n, k, [&] {
+    SyncEngine engine(g, [&](NodeId) {
+      return std::make_unique<NeighborhoodDiscoveryAgent>(k);
+    });
+    engine.run(2 * k + 2, pool);
+    return flood_digest(engine);
   });
 
   std::cout << " clustering speedup x" << fmt(h.speedup("clustering", n), 2)
             << ", backbone speedup x" << fmt(h.speedup("backbone", n), 2)
-            << "\n";
+            << ", engine_flood speedup x"
+            << fmt(h.speedup("engine_flood", n), 2) << "\n";
   return n;
 }
 
@@ -224,7 +274,7 @@ std::size_t bench_point(bench::Harness& h, const Options& opt, std::size_t n,
 
 int main(int argc, char** argv) {
   const Options opt = parse_args(argc, argv);
-  bench::Harness harness("PR4", {3, opt.min_seconds});
+  bench::Harness harness("PR5", {3, opt.min_seconds});
   ThreadPool pool;  // hardware concurrency, for the parallel backbone rows
 
   std::vector<std::size_t> benched;

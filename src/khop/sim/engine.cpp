@@ -1,11 +1,38 @@
 #include "khop/sim/engine.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <tuple>
 
 #include "khop/common/assert.hpp"
+#include "khop/runtime/thread_pool.hpp"
 
 namespace khop {
+
+namespace {
+
+/// Destination-chunk granularity for the parallel executor. parallel_for
+/// partitions task indices in static contiguous blocks, so chunk count
+/// mainly bounds outbox count; a small multiple of the worker count keeps
+/// per-chunk merge state cheap while letting uneven inbox mass spread.
+constexpr std::size_t kChunksPerThread = 4;
+
+std::size_t chunk_count(std::size_t items, ThreadPool& pool) {
+  return std::min(items, std::max<std::size_t>(1, pool.num_threads() *
+                                                      kChunksPerThread));
+}
+
+/// Half-open subrange [lo, hi) of chunk \p c out of \p chunks over
+/// [0, items): same arithmetic as parallel_for's static blocks.
+std::pair<std::size_t, std::size_t> chunk_range(std::size_t items,
+                                                std::size_t chunks,
+                                                std::size_t c) {
+  const std::size_t lo = items * c / chunks;
+  const std::size_t hi = items * (c + 1) / chunks;
+  return {lo, hi};
+}
+
+}  // namespace
 
 std::size_t NodeContext::round() const noexcept { return engine_->round_; }
 
@@ -14,7 +41,18 @@ std::span<const NodeId> NodeContext::neighbors() const {
 }
 
 void NodeContext::broadcast(std::uint16_t type,
-                            std::vector<std::int64_t> data) {
+                            std::span<const std::int64_t> data) {
+  if (sink_ != nullptr) {
+    // Parallel worker: record once; the serial merge replays the stats,
+    // recording (or per-neighbor delivery attempts) in node order.
+    sink_->sends.push_back(detail::RawSend{id_, kInvalidNode, type,
+                                           sink_->arena.intern(data)});
+    return;
+  }
+  if (engine_->ideal_mac()) {
+    engine_->record_broadcast(id_, type, data);
+    return;
+  }
   ++engine_->stats_.transmissions;
   engine_->stats_.payload_words += data.size();
   // One materialization per broadcast: every neighbor's delivery aliases the
@@ -26,9 +64,18 @@ void NodeContext::broadcast(std::uint16_t type,
 }
 
 void NodeContext::send(NodeId to, std::uint16_t type,
-                       std::vector<std::int64_t> data) {
+                       std::span<const std::int64_t> data) {
   KHOP_REQUIRE(engine_->graph_->has_edge(id_, to),
                "addressed send target is not a neighbor");
+  if (sink_ != nullptr) {
+    sink_->sends.push_back(
+        detail::RawSend{id_, to, type, sink_->arena.intern(data)});
+    return;
+  }
+  if (engine_->ideal_mac()) {
+    engine_->record_send(id_, to, type, data);
+    return;
+  }
   ++engine_->stats_.transmissions;
   engine_->stats_.payload_words += data.size();
   const PayloadView payload = engine_->arenas_[engine_->write_].intern(data);
@@ -37,11 +84,11 @@ void NodeContext::send(NodeId to, std::uint16_t type,
 
 SyncEngine::SyncEngine(const Graph& g, const AgentFactory& factory,
                        const DeliveryOptions& delivery)
-    : graph_(&g), delivery_(delivery) {
-  KHOP_REQUIRE(static_cast<bool>(factory), "agent factory required");
+    : graph_(&g), delivery_(delivery), factory_(factory) {
+  KHOP_REQUIRE(static_cast<bool>(factory_), "agent factory required");
   agents_.reserve(g.num_nodes());
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    agents_.push_back(factory(v));
+    agents_.push_back(factory_(v));
     KHOP_REQUIRE(agents_.back() != nullptr, "factory returned null agent");
   }
 }
@@ -63,6 +110,61 @@ void SyncEngine::enqueue(NodeId from, NodeId to, std::uint16_t type,
   queues_[write_].push_back(Routed{to, Message{from, type, data}});
 }
 
+void SyncEngine::record_broadcast(NodeId from, std::uint16_t type,
+                                  std::span<const std::int64_t> data) {
+  ++stats_.transmissions;
+  stats_.payload_words += data.size();
+  // A broadcast with no receivers is a radio transmission (counted above)
+  // but schedules nothing: recording it would keep the write side non-empty
+  // and cost an extra round the reference engine never runs.
+  if (graph_->neighbors(from).empty()) return;
+  // One materialization per broadcast: every receiver's delivery aliases
+  // the same interned words.
+  const PayloadView payload = arenas_[write_].intern(data);
+  if (rec_count_[write_][from]++ == 0) bcast_senders_[write_].push_back(from);
+  bcast_log_[write_].push_back(detail::SendRec{from, type, payload});
+}
+
+void SyncEngine::record_send(NodeId from, NodeId to, std::uint16_t type,
+                             std::span<const std::int64_t> data) {
+  ++stats_.transmissions;
+  stats_.payload_words += data.size();
+  const PayloadView payload = arenas_[write_].intern(data);
+  std::vector<detail::SendRec>& list = sends_[write_][to];
+  if (list.empty()) send_dests_[write_].push_back(to);
+  list.push_back(detail::SendRec{from, type, payload});
+}
+
+void SyncEngine::replay(const detail::RawSend& send) {
+  if (ideal_mac()) {
+    if (send.to == kInvalidNode) {
+      record_broadcast(send.from, send.type, send.data);
+    } else {
+      record_send(send.from, send.to, send.type, send.data);
+    }
+    return;
+  }
+  ++stats_.transmissions;
+  stats_.payload_words += send.data.size();
+  const PayloadView payload = arenas_[write_].intern(send.data);
+  if (send.to == kInvalidNode) {
+    for (NodeId v : graph_->neighbors(send.from)) {
+      enqueue(send.from, v, send.type, payload);
+    }
+  } else {
+    enqueue(send.from, send.to, send.type, payload);
+  }
+}
+
+void SyncEngine::flush_outboxes(std::size_t used) {
+  for (std::size_t c = 0; c < used; ++c) {
+    detail::EngineOutbox& out = outboxes_[c];
+    stats_.receptions += out.receptions;
+    for (const detail::RawSend& s : out.sends) replay(s);
+    out.reset();
+  }
+}
+
 NodeAgent& SyncEngine::agent(NodeId v) {
   KHOP_REQUIRE(v < agents_.size(), "node out of range");
   return *agents_[v];
@@ -73,16 +175,246 @@ const NodeAgent& SyncEngine::agent(NodeId v) const {
   return *agents_[v];
 }
 
-bool SyncEngine::run(std::size_t max_rounds) {
-  round_ = 0;
-  for (NodeId v = 0; v < graph_->num_nodes(); ++v) {
-    NodeContext ctx(*this, v);
-    agents_[v]->on_start(ctx);
+void SyncEngine::reset_for_run() {
+  if (ran_) {
+    // Re-entry: fresh agents so every run is an independent execution. (The
+    // pre-PR5 engine reset only round_, accumulating stats and replaying
+    // stale in-flight messages whose views pointed into never-cleared
+    // arenas.)
+    for (NodeId v = 0; v < graph_->num_nodes(); ++v) {
+      agents_[v] = factory_(v);
+      KHOP_REQUIRE(agents_[v] != nullptr, "factory returned null agent");
+    }
   }
+  ran_ = true;
+  round_ = 0;
+  stats_ = SimStats{};
+  queues_[0].clear();
+  queues_[1].clear();
+  arenas_[0].clear();
+  arenas_[1].clear();
+  // Outboxes are normally drained by flush_outboxes, but an exception that
+  // escaped a parallel phase leaves completed chunks' recordings behind;
+  // they must not replay into this run.
+  for (detail::EngineOutbox& out : outboxes_) out.reset();
+  for (unsigned side = 0; side < 2; ++side) {
+    if (rec_count_[side].size() < graph_->num_nodes()) {
+      rec_count_[side].resize(graph_->num_nodes(), 0);
+      sends_[side].resize(graph_->num_nodes());
+    }
+    clear_fast_side(side);
+  }
+  if (rec_begin_.size() < graph_->num_nodes()) {
+    rec_begin_.resize(graph_->num_nodes(), 0);
+    rec_cursor_.resize(graph_->num_nodes(), 0);
+  }
+  write_ = 0;
+}
+
+void SyncEngine::clear_fast_side(unsigned side) noexcept {
+  for (NodeId s : bcast_senders_[side]) rec_count_[side][s] = 0;
+  bcast_senders_[side].clear();
+  bcast_log_[side].clear();
+  for (NodeId d : send_dests_[side]) sends_[side][d].clear();
+  send_dests_[side].clear();
+}
+
+void SyncEngine::prepare_fast_round(unsigned read) {
+  // Group the read-side broadcast log by ascending sender with a counting
+  // scatter (the counts were maintained at record time), then sort each
+  // sender's contiguous range: record order is a handler artifact, and the
+  // canonical inbox order needs (type, payload) within each sender. Every
+  // receiver replays the same sorted ranges.
+  std::sort(bcast_senders_[read].begin(), bcast_senders_[read].end());
+  std::uint32_t ofs = 0;
+  for (NodeId s : bcast_senders_[read]) {
+    rec_begin_[s] = ofs;
+    rec_cursor_[s] = ofs;
+    ofs += rec_count_[read][s];
+  }
+  flat_recs_.resize(bcast_log_[read].size());
+  for (const detail::SendRec& e : bcast_log_[read]) {
+    flat_recs_[rec_cursor_[e.sender]++] = detail::BcastRec{e.type, e.data};
+  }
+  for (NodeId s : bcast_senders_[read]) {
+    if (rec_count_[read][s] > 1) {
+      std::sort(flat_recs_.begin() + rec_begin_[s],
+                flat_recs_.begin() + rec_cursor_[s],
+                [](const detail::BcastRec& a, const detail::BcastRec& b) {
+                  return std::tie(a.type, a.data) < std::tie(b.type, b.data);
+                });
+    }
+  }
+  for (NodeId d : send_dests_[read]) {
+    std::vector<detail::SendRec>& sd = sends_[read][d];
+    if (sd.size() > 1) {
+      std::sort(sd.begin(), sd.end(),
+                [](const detail::SendRec& a, const detail::SendRec& b) {
+                  return std::tie(a.sender, a.type, a.data) <
+                         std::tie(b.sender, b.type, b.data);
+                });
+    }
+  }
+
+  // Receiver set: every broadcaster's neighborhood plus every addressed
+  // destination, deduplicated with epoch stamps, ascending.
+  if (dest_stamp_.size() < graph_->num_nodes()) {
+    dest_stamp_.resize(graph_->num_nodes(), 0);
+  }
+  if (dest_epoch_ == std::numeric_limits<std::uint32_t>::max()) {
+    std::fill(dest_stamp_.begin(), dest_stamp_.end(), 0);
+    dest_epoch_ = 0;
+  }
+  ++dest_epoch_;
+  dests_.clear();
+  for (NodeId s : bcast_senders_[read]) {
+    for (NodeId v : graph_->neighbors(s)) {
+      if (dest_stamp_[v] != dest_epoch_) {
+        dest_stamp_[v] = dest_epoch_;
+        dests_.push_back(v);
+      }
+    }
+  }
+  for (NodeId d : send_dests_[read]) {
+    if (dest_stamp_[d] != dest_epoch_) {
+      dest_stamp_[d] = dest_epoch_;
+      dests_.push_back(d);
+    }
+  }
+  std::sort(dests_.begin(), dests_.end());
+}
+
+void SyncEngine::deliver_fast_to(NodeId d, unsigned read, NodeContext& ctx,
+                                 std::size_t& receptions,
+                                 std::vector<detail::BcastRec>& scratch) {
+  const std::vector<detail::SendRec>& sd = sends_[read][d];
+  std::size_t si = 0;
+  NodeAgent& agent = *agents_[d];
+  const std::uint32_t* counts = rec_count_[read].data();
+  for (NodeId s : graph_->neighbors(d)) {
+    // rec_begin_[s] is only meaningful when counts[s] != 0 (stale
+    // otherwise), so the range pointer is formed after the count check.
+    const std::uint32_t cnt = counts[s];
+    // sd is sorted by sender and every send sender is a neighbor of d, so
+    // walking d's ascending adjacency consumes it in one pass.
+    const std::size_t s_begin = si;
+    while (si < sd.size() && sd[si].sender == s) ++si;
+    if (si == s_begin) {
+      const detail::BcastRec* bs =
+          cnt != 0 ? flat_recs_.data() + rec_begin_[s] : nullptr;
+      for (std::uint32_t i = 0; i < cnt; ++i) {
+        ++receptions;
+        agent.on_message(ctx, Message{s, bs[i].type, bs[i].data});
+      }
+      continue;
+    }
+    if (cnt == 0) {
+      for (std::size_t i = s_begin; i < si; ++i) {
+        ++receptions;
+        agent.on_message(ctx, Message{s, sd[i].type, sd[i].data});
+      }
+      continue;
+    }
+    // Rare: s both broadcast and addressed d this round; merge the two
+    // (type, payload)-sorted groups.
+    const detail::BcastRec* bs = flat_recs_.data() + rec_begin_[s];
+    scratch.clear();
+    scratch.insert(scratch.end(), bs, bs + cnt);
+    for (std::size_t i = s_begin; i < si; ++i) {
+      scratch.push_back(detail::BcastRec{sd[i].type, sd[i].data});
+    }
+    std::sort(scratch.begin(), scratch.end(),
+              [](const detail::BcastRec& a, const detail::BcastRec& b) {
+                return std::tie(a.type, a.data) < std::tie(b.type, b.data);
+              });
+    for (const detail::BcastRec& r : scratch) {
+      ++receptions;
+      agent.on_message(ctx, Message{s, r.type, r.data});
+    }
+  }
+  KHOP_ASSERT(si == sd.size(), "send from non-neighbor in inbox assembly");
+}
+
+void SyncEngine::partition_inbox(const std::vector<Routed>& inbox) {
+  if (inbox_pos_.size() < graph_->num_nodes()) {
+    inbox_pos_.resize(graph_->num_nodes(), 0);
+  }
+  dests_.clear();
+  for (const Routed& r : inbox) {
+    if (inbox_pos_[r.to]++ == 0) dests_.push_back(r.to);
+  }
+  std::sort(dests_.begin(), dests_.end());
+
+  spans_.resize(dests_.size() + 1);
+  spans_[0] = 0;
+  for (std::size_t b = 0; b < dests_.size(); ++b) {
+    spans_[b + 1] = spans_[b] + inbox_pos_[dests_[b]];
+    inbox_pos_[dests_[b]] = spans_[b];  // becomes the scatter cursor
+  }
+  scratch_.resize(inbox.size());
+  for (const Routed& r : inbox) scratch_[inbox_pos_[r.to]++] = r;
+  for (NodeId d : dests_) inbox_pos_[d] = 0;  // all-zero for the next round
+}
+
+void SyncEngine::sort_bucket(std::size_t b) {
+  std::sort(scratch_.begin() + static_cast<std::ptrdiff_t>(spans_[b]),
+            scratch_.begin() + static_cast<std::ptrdiff_t>(spans_[b + 1]),
+            [](const Routed& a, const Routed& b2) {
+              return std::tie(a.msg.sender, a.msg.type, a.msg.data) <
+                     std::tie(b2.msg.sender, b2.msg.type, b2.msg.data);
+            });
+}
+
+bool SyncEngine::run(std::size_t max_rounds) {
+  return run_impl(max_rounds, nullptr);
+}
+
+bool SyncEngine::run(std::size_t max_rounds, ThreadPool& pool) {
+  return run_impl(max_rounds, &pool);
+}
+
+bool SyncEngine::run_impl(std::size_t max_rounds, ThreadPool* pool) {
+  reset_for_run();
+
+  const std::size_t n = graph_->num_nodes();
+  // Parallel phase runner: work items [0, items) chunked across the pool,
+  // each chunk recording into its own outbox, merged in ascending chunk
+  // (= node/bucket) order. All three parallel phases (on_start /
+  // on_round_end, ideal-MAC delivery, lossy delivery) share it so the
+  // chunking arithmetic and flush ordering cannot diverge.
+  const auto chunked_phase = [&](std::size_t items, auto&& body) {
+    const std::size_t chunks = chunk_count(items, *pool);
+    if (outboxes_.size() < chunks) outboxes_.resize(chunks);
+    parallel_for_throwing(*pool, chunks, [&](std::size_t c) {
+      const auto [lo, hi] = chunk_range(items, chunks, c);
+      for (std::size_t i = lo; i < hi; ++i) body(i, outboxes_[c]);
+    });
+    flush_outboxes(chunks);
+  };
+
+  // Phase runner for the two all-nodes callbacks (on_start, on_round_end):
+  // serial in ascending node order, or chunked across the pool with the
+  // per-chunk outboxes merged in that same order.
+  const auto all_nodes_phase = [&](auto&& callback) {
+    if (pool == nullptr) {
+      for (NodeId v = 0; v < n; ++v) {
+        NodeContext ctx(*this, v);
+        callback(v, ctx);
+      }
+      return;
+    }
+    chunked_phase(n, [&](std::size_t v, detail::EngineOutbox& out) {
+      NodeContext ctx(*this, static_cast<NodeId>(v), &out);
+      callback(static_cast<NodeId>(v), ctx);
+    });
+  };
+
+  all_nodes_phase(
+      [&](NodeId v, NodeContext& ctx) { agents_[v]->on_start(ctx); });
 
   while (round_ < max_rounds) {
     // Quiescence check at the round boundary.
-    if (queues_[write_].empty()) {
+    if (write_side_empty()) {
       const bool all_done = std::all_of(
           agents_.begin(), agents_.end(),
           [](const std::unique_ptr<NodeAgent>& a) { return a->finished(); });
@@ -95,31 +427,66 @@ bool SyncEngine::run(std::size_t max_rounds) {
     // Flip buffers: this round's deliveries become the read side; handlers
     // enqueue into the other side, whose previous contents (delivered two
     // rounds ago) are dropped with capacity retained.
-    std::vector<Routed>& inbox = queues_[write_];
+    const unsigned read = write_;
     write_ ^= 1u;
     queues_[write_].clear();
     arenas_[write_].clear();
+    clear_fast_side(write_);
 
-    // Deterministic delivery order, bit-for-bit as the per-destination
-    // implementation: destinations ascending, then (sender, type, payload).
-    // A single flat sort gives the same sequence because messages equal in
-    // all three keys are indistinguishable.
-    std::sort(inbox.begin(), inbox.end(), [](const Routed& a, const Routed& b) {
-      return std::tie(a.to, a.msg.sender, a.msg.type, a.msg.data) <
-             std::tie(b.to, b.msg.sender, b.msg.type, b.msg.data);
-    });
+    if (ideal_mac()) {
+      // Fast path: no per-receiver message materialization; receivers walk
+      // their adjacency over the per-sender records.
+      prepare_fast_round(read);
+      if (pool == nullptr) {
+        for (const NodeId d : dests_) {
+          NodeContext ctx(*this, d);
+          deliver_fast_to(d, read, ctx, stats_.receptions, merge_scratch_);
+        }
+      } else {
+        chunked_phase(dests_.size(),
+                      [&](std::size_t b, detail::EngineOutbox& out) {
+                        NodeContext ctx(*this, dests_[b], &out);
+                        deliver_fast_to(dests_[b], read, ctx, out.receptions,
+                                        out.scratch);
+                      });
+      }
+    } else {
+      // Lossy path: receiver-batched delivery over the materialized queue:
+      // destinations ascending, each inbox sorted by (sender, type,
+      // payload) - the same sequence as the preserved flat (to, sender,
+      // type, payload) sort, at O(M) partition + per-inbox sort cost
+      // instead of one O(M log M) sort over every in-flight message.
+      partition_inbox(queues_[read]);
 
-    for (const Routed& r : inbox) {
-      ++stats_.receptions;
-      NodeContext ctx(*this, r.to);
-      agents_[r.to]->on_message(ctx, r.msg);
+      if (pool == nullptr) {
+        for (std::size_t b = 0; b < dests_.size(); ++b) {
+          sort_bucket(b);
+          const NodeId d = dests_[b];
+          NodeContext ctx(*this, d);
+          for (std::size_t i = spans_[b]; i < spans_[b + 1]; ++i) {
+            ++stats_.receptions;
+            agents_[d]->on_message(ctx, scratch_[i].msg);
+          }
+        }
+      } else {
+        chunked_phase(dests_.size(),
+                      [&](std::size_t b, detail::EngineOutbox& out) {
+                        sort_bucket(b);
+                        const NodeId d = dests_[b];
+                        NodeContext ctx(*this, d, &out);
+                        for (std::size_t i = spans_[b]; i < spans_[b + 1];
+                             ++i) {
+                          ++out.receptions;
+                          agents_[d]->on_message(ctx, scratch_[i].msg);
+                        }
+                      });
+      }
     }
-    for (NodeId v = 0; v < graph_->num_nodes(); ++v) {
-      NodeContext ctx(*this, v);
-      agents_[v]->on_round_end(ctx);
-    }
+
+    all_nodes_phase(
+        [&](NodeId v, NodeContext& ctx) { agents_[v]->on_round_end(ctx); });
   }
-  return queues_[write_].empty() &&
+  return write_side_empty() &&
          std::all_of(agents_.begin(), agents_.end(),
                      [](const std::unique_ptr<NodeAgent>& a) {
                        return a->finished();

@@ -10,9 +10,45 @@
 /// each inbox is sorted by (sender, type, payload). Every protocol result is
 /// therefore a pure function of the topology - the property the test suite
 /// uses to cross-validate protocols against the centralized algorithms.
+///
+/// Round loop (PR 5): the historical engine materialized every delivery as
+/// a (receiver, message) queue entry and ran one flat O(M log M) sort over
+/// all in-flight messages per round, its comparator lexicographically
+/// comparing payload words. Now:
+///  * Ideal MAC (no DeliveryModel): a broadcast is recorded once under its
+///    sender - its receiver set is exactly neighbors(sender), so delivery
+///    walks each receiver's (ascending) adjacency and replays every
+///    neighbor's records, giving the canonical per-inbox (sender, type,
+///    payload) order with only tiny per-sender record sorts. No per-neighbor
+///    queue entries exist at all.
+///  * Lossy (DeliveryModel installed): per-link drops must be decided at
+///    enqueue time in the documented order, so messages stay materialized
+///    per receiver - but batched by destination with a counting pass and
+///    sorted within each inbox only.
+/// Both delivery sequences are bit-identical to the original flat sort (see
+/// sim/reference.hpp for the preserved engine and the equivalence suite).
+///
+/// Parallel execution: run(max_rounds, ThreadPool&) executes the disjoint
+/// destination inboxes (and the on_start / on_round_end phases) across
+/// workers. Handlers record their sends into per-chunk outboxes that are
+/// merged on the calling thread in ascending node-index order - the same
+/// merge discipline as the parallel backbone build - so traces, stats, and
+/// lossy DeliveryModel consultation order are bit-identical to the serial
+/// engine for any thread count. Agents only ever run on their own node's
+/// inbox, which is processed by exactly one worker per phase; agents must
+/// not share mutable state across nodes.
+///
+/// Reuse contract: run() may be called repeatedly on one engine. Every call
+/// is an independent execution - round counter, stats, pending queues and
+/// payload arenas are fully reset at entry, and the agents are re-created
+/// from the factory (which the engine stores; anything it captures by
+/// reference must outlive the engine). Agent references obtained via
+/// agent() before a re-run are invalidated by the next run().
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <initializer_list>
 #include <memory>
 #include <span>
 #include <vector>
@@ -23,12 +59,15 @@
 namespace khop {
 
 class SyncEngine;
+class ThreadPool;
 
 /// Decides the fate of one per-link transmission attempt. The engine calls
 /// attempt() in its deterministic enqueue order (sender processing order,
 /// then ascending-neighbor order for broadcasts), so implementations backed
 /// by a seeded rng make a lossy run a pure function of (topology, protocol,
 /// seed). Concrete radio-driven implementations live in khop/radio/.
+/// The parallel executor preserves this order: models are only ever
+/// consulted during the serial outbox merge, never from a worker.
 class DeliveryModel {
  public:
   virtual ~DeliveryModel() = default;
@@ -49,6 +88,50 @@ struct DeliveryOptions {
   std::size_t retry_budget = 0;
 };
 
+namespace detail {
+/// One recorded local broadcast: the ideal-MAC fast path stores it once per
+/// sender instead of materializing one queue entry per neighbor - the
+/// receiver set is exactly neighbors(sender), so delivery re-derives it.
+struct BcastRec {
+  std::uint16_t type = 0;
+  PayloadView data;
+};
+
+/// One recorded addressed send, bucketed by destination.
+struct SendRec {
+  NodeId sender = kInvalidNode;
+  std::uint16_t type = 0;
+  PayloadView data;
+};
+
+/// One handler-recorded send in the parallel executor. Broadcasts keep
+/// to == kInvalidNode and expand to per-neighbor deliveries at merge time,
+/// in ascending-neighbor order - exactly the serial enqueue sequence.
+struct RawSend {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  std::uint16_t type = 0;
+  PayloadView data;
+};
+
+/// Per-chunk sink for the parallel executor: workers intern payloads into a
+/// chunk-private arena and append RawSends; the engine replays them (stats,
+/// delivery model, recording/queue pushes) serially in chunk order.
+struct EngineOutbox {
+  PayloadArena arena;
+  std::vector<RawSend> sends;
+  std::size_t receptions = 0;
+  /// Per-worker merge buffer for fast-path delivery (see deliver_fast_to).
+  std::vector<BcastRec> scratch;
+
+  void reset() noexcept {
+    arena.clear();
+    sends.clear();
+    receptions = 0;
+  }
+};
+}  // namespace detail
+
 /// Per-node handle the engine passes to agent callbacks.
 class NodeContext {
  public:
@@ -56,18 +139,32 @@ class NodeContext {
   std::size_t round() const noexcept;
   std::span<const NodeId> neighbors() const;
 
-  /// Local broadcast: delivered to every neighbor next round.
-  void broadcast(std::uint16_t type, std::vector<std::int64_t> data);
+  /// Local broadcast: delivered to every neighbor next round. The words are
+  /// copied (interned) before the call returns; the span need only be valid
+  /// for the duration of the call.
+  void broadcast(std::uint16_t type, std::span<const std::int64_t> data);
+  void broadcast(std::uint16_t type, std::initializer_list<std::int64_t> data) {
+    broadcast(type, std::span<const std::int64_t>(data.begin(), data.size()));
+  }
 
   /// Addressed send to a direct neighbor: delivered next round.
   /// \pre `to` is a neighbor of this node
-  void send(NodeId to, std::uint16_t type, std::vector<std::int64_t> data);
+  void send(NodeId to, std::uint16_t type, std::span<const std::int64_t> data);
+  void send(NodeId to, std::uint16_t type,
+            std::initializer_list<std::int64_t> data) {
+    send(to, type, std::span<const std::int64_t>(data.begin(), data.size()));
+  }
 
  private:
   friend class SyncEngine;
-  NodeContext(SyncEngine& engine, NodeId id) : engine_(&engine), id_(id) {}
+  NodeContext(SyncEngine& engine, NodeId id,
+              detail::EngineOutbox* sink = nullptr)
+      : engine_(&engine), id_(id), sink_(sink) {}
   SyncEngine* engine_;
   NodeId id_;
+  /// Non-null only under the parallel executor: sends are recorded here and
+  /// replayed serially instead of touching shared engine state.
+  detail::EngineOutbox* sink_;
 };
 
 /// A protocol's per-node state machine.
@@ -95,12 +192,18 @@ class SyncEngine {
   using AgentFactory = std::function<std::unique_ptr<NodeAgent>(NodeId)>;
 
   /// \p delivery configures lossy links; the default is the ideal MAC.
+  /// The factory is retained: re-running the engine re-creates the agents
+  /// through it (see the file-level reuse contract).
   SyncEngine(const Graph& g, const AgentFactory& factory,
              const DeliveryOptions& delivery = {});
 
   /// Runs until quiescence (all agents finished, nothing in flight) or
   /// \p max_rounds. Returns true iff it reached quiescence.
   bool run(std::size_t max_rounds);
+
+  /// Parallel round executor: identical semantics and bit-identical traces,
+  /// stats and delivery-model consultation order for any thread count.
+  bool run(std::size_t max_rounds, ThreadPool& pool);
 
   const SimStats& stats() const noexcept { return stats_; }
   std::size_t round() const noexcept { return round_; }
@@ -121,20 +224,103 @@ class SyncEngine {
 
   const Graph* graph_;
   DeliveryOptions delivery_;
+  AgentFactory factory_;
   std::vector<std::unique_ptr<NodeAgent>> agents_;
-  /// Double-buffered flat delivery queues + payload arenas, indexed by
-  /// write_. Handlers enqueue into queues_[write_] / arenas_[write_]; at the
-  /// round boundary the buffers flip and the stale side is cleared with its
-  /// capacity retained, so steady-state rounds are allocation-free.
+  /// Lossy-path state: double-buffered flat delivery queues, indexed by
+  /// write_. Only used when a DeliveryModel is installed - per-link drops
+  /// must be decided at enqueue time in the documented order, so messages
+  /// are materialized per receiver. Ideal-MAC rounds leave these empty.
   std::vector<Routed> queues_[2];
+  /// Payload arenas, double-buffered by delivery round (both paths).
   PayloadArena arenas_[2];
   unsigned write_ = 0;
   std::size_t round_ = 0;
   SimStats stats_;
+  bool ran_ = false;
+
+  /// Ideal-MAC fast-path state, double-buffered like queues_: a broadcast
+  /// is recorded ONCE under its sender (receivers = neighbors(sender), so
+  /// per-neighbor queue entries would be pure redundancy), addressed sends
+  /// are bucketed by destination, and delivery walks each receiver's
+  /// neighbor list - the per-receiver message sequence comes out in the
+  /// canonical (sender, type, payload) order by construction (ascending
+  /// adjacency x per-sender records sorted once). Broadcasts land in a flat
+  /// append log; prepare_fast_round counting-scatters the read side into
+  /// flat_recs_ grouped by ascending sender (one contiguous range per
+  /// sender, no per-sender heap vectors). The dirty lists make clearing
+  /// O(active nodes).
+  std::vector<detail::SendRec> bcast_log_[2];   ///< append order, per side
+  std::vector<NodeId> bcast_senders_[2];        ///< dirty senders
+  std::vector<std::uint32_t> rec_count_[2];     ///< per-sender log counts
+  std::vector<std::uint32_t> rec_begin_;        ///< read-side range starts
+  std::vector<std::uint32_t> rec_cursor_;       ///< scatter cursors
+  std::vector<detail::BcastRec> flat_recs_;     ///< read side, sender-grouped
+  std::vector<std::vector<detail::SendRec>> sends_[2];    ///< per destination
+  std::vector<NodeId> send_dests_[2];                     ///< dirty dests
+  std::vector<std::uint32_t> dest_stamp_;  ///< receiver-set dedup marks
+  std::uint32_t dest_epoch_ = 0;
+  std::vector<detail::BcastRec> merge_scratch_;  ///< serial merge buffer
+
+  /// Lossy-path receiver-batching scratch, persistent across rounds
+  /// (capacity only grows). inbox_pos_ doubles as per-destination count,
+  /// then scatter cursor; it is returned to all-zero after every partition.
+  std::vector<Routed> scratch_;        ///< destination-bucketed inbox
+  std::vector<std::size_t> inbox_pos_; ///< per-destination count/cursor
+  std::vector<NodeId> dests_;          ///< distinct destinations, ascending
+  std::vector<std::size_t> spans_;     ///< bucket b = scratch_[spans_[b], spans_[b+1])
+  std::vector<detail::EngineOutbox> outboxes_;  ///< parallel executor sinks
+
+  bool ideal_mac() const noexcept { return delivery_.model == nullptr; }
+
+  /// True iff nothing is scheduled for delivery next round.
+  bool write_side_empty() const noexcept {
+    return queues_[write_].empty() && bcast_senders_[write_].empty() &&
+           send_dests_[write_].empty();
+  }
+
+  /// Resets counters, queues and arenas; re-creates agents on re-entry.
+  void reset_for_run();
+
+  /// Fast-path recording (ideal MAC): stats + intern + per-sender /
+  /// per-destination bucket append.
+  void record_broadcast(NodeId from, std::uint16_t type,
+                        std::span<const std::int64_t> data);
+  void record_send(NodeId from, NodeId to, std::uint16_t type,
+                   std::span<const std::int64_t> data);
+
+  /// Sorts side \p read's records and builds dests_ (ascending receiver
+  /// set: every broadcaster's neighborhood plus every send destination).
+  void prepare_fast_round(unsigned read);
+
+  /// Delivers side \p read's messages to \p d in canonical order: senders
+  /// ascending (d's adjacency), each sender's broadcasts merged with its
+  /// addressed sends by (type, payload).
+  void deliver_fast_to(NodeId d, unsigned read, NodeContext& ctx,
+                       std::size_t& receptions,
+                       std::vector<detail::BcastRec>& scratch);
+
+  /// O(dirty) reset of side \p side's fast-path buckets.
+  void clear_fast_side(unsigned side) noexcept;
+
+  /// Buckets \p inbox by destination into scratch_ / dests_ / spans_.
+  void partition_inbox(const std::vector<Routed>& inbox);
+
+  /// Sorts bucket \p b by (sender, type, payload).
+  void sort_bucket(std::size_t b);
 
   /// Runs the per-link delivery model (drops/retries) and, if delivered,
   /// schedules \p data (already interned in the write arena) for \p to.
   void enqueue(NodeId from, NodeId to, std::uint16_t type, PayloadView data);
+
+  /// Serial replay of one recorded send: stats, interning into the write
+  /// arena, delivery model, recording/queue pushes - the exact serial path.
+  void replay(const detail::RawSend& send);
+
+  /// Replays outboxes_[0, used) in order and folds their reception counts.
+  void flush_outboxes(std::size_t used);
+
+  /// Shared round loop; pool == nullptr is the serial engine.
+  bool run_impl(std::size_t max_rounds, ThreadPool* pool);
 };
 
 }  // namespace khop

@@ -43,8 +43,14 @@ class PayloadView {
   std::vector<std::int64_t> to_vector() const { return {begin(), end()}; }
 
   /// Implicit copy-out so existing call sites (`std::vector<...> fwd =
-  /// msg.data;`, `ctx.send(..., msg.data)`) keep working unchanged.
+  /// msg.data;`) keep working unchanged.
   operator std::vector<std::int64_t>() const { return to_vector(); }
+
+  /// Implicit view so forwarding call sites (`ctx.send(..., msg.data)`)
+  /// hit the span-based engine API without materializing a vector.
+  constexpr operator std::span<const std::int64_t>() const noexcept {
+    return {words_, size_};
+  }
 
   friend bool operator==(PayloadView a, PayloadView b) noexcept {
     return std::equal(a.begin(), a.end(), b.begin(), b.end());
@@ -78,29 +84,50 @@ class PayloadArena {
   /// Invalidates every view handed out since the last clear(). Keeps block
   /// capacity so steady-state rounds allocate nothing.
   void clear() noexcept {
-    for (std::size_t i = 0; i <= cur_ && i < blocks_.size(); ++i) {
-      blocks_[i].clear();
-    }
-    cur_ = 0;
+    for (std::vector<std::int64_t>& block : blocks_) block.clear();
+    scan_start_ = 0;
   }
+
+  /// Diagnostic: blocks allocated so far. Bounded-growth regression tests
+  /// assert on this (see the stranding note at reserve_block).
+  std::size_t num_blocks() const noexcept { return blocks_.size(); }
 
  private:
   static constexpr std::size_t kMinBlockWords = 4096;
+  /// Blocks whose remaining capacity drops below this are retired from the
+  /// front of the first-fit scan until the next clear(). The threshold
+  /// trades a bounded strand (< kRetireWords per block, ~6% of a standard
+  /// block) for scan cost: crumbs left by payloads up to this size retire
+  /// as the prefix exhausts, keeping the scan O(1) amortized for the small
+  /// payloads that dominate. Blocks retaining more free space than this
+  /// stay scannable (they can host later smaller payloads), so a stream of
+  /// same-sized payloads each leaving > kRetireWords of slack degrades to
+  /// O(active blocks) per new block - bounded in practice by the round's
+  /// payload volume / kMinBlockWords.
+  static constexpr std::size_t kRetireWords = 256;
 
   /// A block with room for \p len more words without reallocating.
+  ///
+  /// First-fit over the non-retired blocks. The pre-PR5 version advanced a
+  /// monotone cursor past any block that could not fit the current payload
+  /// and never revisited it, so alternating large/small interns stranded
+  /// most of each block's capacity and grew the block list without bound
+  /// within a round (one block per intern in the worst case).
   std::vector<std::int64_t>& reserve_block(std::size_t len) {
-    while (cur_ < blocks_.size() &&
-           blocks_[cur_].capacity() - blocks_[cur_].size() < len) {
-      ++cur_;
+    while (scan_start_ < blocks_.size() &&
+           blocks_[scan_start_].capacity() - blocks_[scan_start_].size() <
+               kRetireWords) {
+      ++scan_start_;
     }
-    if (cur_ == blocks_.size()) {
-      blocks_.emplace_back().reserve(std::max(kMinBlockWords, len));
+    for (std::size_t i = scan_start_; i < blocks_.size(); ++i) {
+      if (blocks_[i].capacity() - blocks_[i].size() >= len) return blocks_[i];
     }
-    return blocks_[cur_];
+    blocks_.emplace_back().reserve(std::max(kMinBlockWords, len));
+    return blocks_.back();
   }
 
   std::vector<std::vector<std::int64_t>> blocks_;
-  std::size_t cur_ = 0;
+  std::size_t scan_start_ = 0;
 };
 
 struct Message {

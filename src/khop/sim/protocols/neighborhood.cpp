@@ -1,10 +1,40 @@
 #include "khop/sim/protocols/neighborhood.hpp"
 
+#include <algorithm>
+
 #include "khop/common/assert.hpp"
 
 namespace khop {
 
+std::vector<std::pair<NodeId, KnownRecord>> KnownTable::sorted_items() const {
+  std::vector<std::pair<NodeId, KnownRecord>> items;
+  items.reserve(size_);
+  for_each([&](NodeId origin, const KnownRecord& rec) {
+    items.emplace_back(origin, rec);
+  });
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return items;
+}
+
+void KnownTable::grow() {
+  // First allocation jumps straight to a ball-sized table: at the typical
+  // bench densities a k-hop ball is tens of nodes, and starting tiny showed
+  // up in the profile as tens of thousands of rehashes per flood.
+  static constexpr std::size_t kMinSlots = 64;
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(std::max(kMinSlots, old.size() * 2), Slot{});
+  const std::uint32_t old_epoch = epoch_;
+  epoch_ = 1;  // fresh slot vector: stamp 0 everywhere, so epoch 1 is clean
+  for (const Slot& s : old) {
+    if (s.stamp != old_epoch) continue;
+    Slot& dst = probe(s.origin);
+    dst = Slot{s.origin, epoch_, s.rec};
+  }
+}
+
 void NeighborhoodDiscoveryAgent::on_start(NodeContext& ctx) {
+  known_.clear();  // re-entry safety: each run restarts discovery
   ctx.broadcast(kHello, {static_cast<std::int64_t>(ctx.id()), 1});
 }
 
@@ -15,8 +45,8 @@ void NeighborhoodDiscoveryAgent::on_message(NodeContext& ctx,
   const auto hops = static_cast<Hops>(msg.data[1]);
   if (origin == ctx.id()) return;
 
-  auto [it, inserted] = known_.try_emplace(origin);
-  Known& rec = it->second;
+  bool inserted = false;
+  Known& rec = known_.upsert(origin, inserted);
   if (inserted || hops < rec.dist) {
     // First (synchronous flooding => shortest) arrival. The inbox is sorted
     // by sender, so on the discovery round the first arrival also carries

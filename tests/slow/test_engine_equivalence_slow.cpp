@@ -1,0 +1,145 @@
+// Larger-n engine equivalence (slow ctest label): the receiver-batched
+// SyncEngine and its ThreadPool executor against the preserved pre-PR5
+// engine at n ~ 1500, ideal and lossy, thread counts {1, 2, hardware}.
+// Companion to tests/test_engine_equivalence.cpp at CI-fast sizes.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "khop/net/generator.hpp"
+#include "khop/radio/delivery.hpp"
+#include "khop/runtime/thread_pool.hpp"
+#include "khop/sim/engine.hpp"
+#include "khop/sim/protocols/neighborhood.hpp"
+#include "khop/sim/reference.hpp"
+
+namespace khop {
+namespace {
+
+Graph random_topology(std::size_t n, double degree, std::uint64_t seed) {
+  GeneratorConfig gen;
+  gen.num_nodes = n;
+  gen.target_degree = degree;
+  Rng rng(seed);
+  return generate_network(gen, rng).graph;
+}
+
+bool same_stats(const SimStats& a, const SimStats& b) {
+  return a.rounds == b.rounds && a.transmissions == b.transmissions &&
+         a.receptions == b.receptions && a.payload_words == b.payload_words &&
+         a.drops == b.drops && a.retransmissions == b.retransmissions;
+}
+
+/// Variant-independent digest of one node's discovery result.
+double known_digest(const NeighborhoodDiscoveryAgent& agent) {
+  double sum = 0.0;
+  agent.known().for_each([&](NodeId origin, const KnownRecord& rec) {
+    sum += origin + 31.0 * rec.dist + 7.0 * rec.parent;
+  });
+  return sum;
+}
+
+TEST(EngineEquivalenceSlow, DiscoveryFloodMatchesReferenceAtScale) {
+  const Graph g = random_topology(1500, 7.0, 7001);
+  const Hops k = 2;
+
+  reference::SyncEngine ref_engine(g, [&](NodeId) {
+    return std::make_unique<reference::NeighborhoodDiscoveryAgent>(k);
+  });
+  ASSERT_TRUE(ref_engine.run(2 * k + 2));
+
+  // Reference per-node digests, computed once.
+  std::vector<double> want(g.num_nodes(), 0.0);
+  std::vector<std::size_t> want_size(g.num_nodes(), 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto& a = dynamic_cast<const reference::NeighborhoodDiscoveryAgent&>(
+        ref_engine.agent(v));
+    want_size[v] = a.known().size();
+    for (const auto& [origin, rec] : a.known()) {
+      want[v] += origin + 31.0 * rec.dist + 7.0 * rec.parent;
+    }
+  }
+
+  const auto check = [&](SyncEngine& engine, const char* label) {
+    EXPECT_TRUE(same_stats(engine.stats(), ref_engine.stats())) << label;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const auto& a =
+          dynamic_cast<const NeighborhoodDiscoveryAgent&>(engine.agent(v));
+      ASSERT_EQ(a.known().size(), want_size[v]) << label << " node " << v;
+      ASSERT_EQ(known_digest(a), want[v]) << label << " node " << v;
+    }
+  };
+
+  const auto factory = [&](NodeId) {
+    return std::make_unique<NeighborhoodDiscoveryAgent>(k);
+  };
+
+  SyncEngine serial(g, factory);
+  ASSERT_TRUE(serial.run(2 * k + 2));
+  check(serial, "serial");
+
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{0}}) {
+    ThreadPool pool(threads);
+    SyncEngine parallel(g, factory);
+    ASSERT_TRUE(parallel.run(2 * k + 2, pool));
+    check(parallel, threads == 0 ? "hardware" : (threads == 1 ? "1t" : "2t"));
+  }
+}
+
+TEST(EngineEquivalenceSlow, LossyFloodMatchesReferenceAtScale) {
+  const Graph g = random_topology(1200, 6.0, 7002);
+  const Hops k = 2;
+
+  const auto run_ref = [&] {
+    UniformLossDelivery model(0.25, 5150);
+    DeliveryOptions opts;
+    opts.model = &model;
+    opts.retry_budget = 1;
+    reference::SyncEngine engine(
+        g,
+        [&](NodeId) {
+          return std::make_unique<reference::NeighborhoodDiscoveryAgent>(k);
+        },
+        opts);
+    engine.run(2 * k + 2);
+    double digest = 0.0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const auto& a =
+          dynamic_cast<const reference::NeighborhoodDiscoveryAgent&>(
+              engine.agent(v));
+      for (const auto& [origin, rec] : a.known()) {
+        digest += origin + 31.0 * rec.dist + 7.0 * rec.parent;
+      }
+    }
+    return std::pair(engine.stats(), digest);
+  };
+  const auto [want_stats, want_digest] = run_ref();
+  ASSERT_GT(want_stats.drops, 0u);
+
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{0}}) {
+    UniformLossDelivery model(0.25, 5150);
+    DeliveryOptions opts;
+    opts.model = &model;
+    opts.retry_budget = 1;
+    SyncEngine engine(
+        g,
+        [&](NodeId) { return std::make_unique<NeighborhoodDiscoveryAgent>(k); },
+        opts);
+    ThreadPool pool(threads);
+    engine.run(2 * k + 2, pool);
+    EXPECT_TRUE(same_stats(engine.stats(), want_stats))
+        << "threads " << threads;
+    double digest = 0.0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      digest += known_digest(
+          dynamic_cast<const NeighborhoodDiscoveryAgent&>(engine.agent(v)));
+    }
+    EXPECT_EQ(digest, want_digest) << "threads " << threads;
+  }
+}
+
+}  // namespace
+}  // namespace khop

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "khop/common/error.hpp"
+#include "khop/runtime/thread_pool.hpp"
 #include "khop/sim/engine.hpp"
 
 namespace khop {
@@ -142,6 +143,90 @@ TEST(SimEngine, QuiescentFromTheStart) {
   EXPECT_EQ(engine.stats().rounds, 0u);
 }
 
+TEST(SimEngine, ParallelRunMatchesSerial) {
+  const Graph g = Graph::from_edges(
+      6, EdgeList{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {1, 4}});
+  const auto factory = [](NodeId) { return std::make_unique<FloodAgent>(); };
+
+  SyncEngine serial(g, factory);
+  EXPECT_TRUE(serial.run(64));
+
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    SyncEngine parallel(g, factory);
+    EXPECT_TRUE(parallel.run(64, pool));
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(dynamic_cast<FloodAgent&>(parallel.agent(v)).seen_round_,
+                dynamic_cast<FloodAgent&>(serial.agent(v)).seen_round_)
+          << "threads=" << threads << " node=" << v;
+    }
+    EXPECT_EQ(parallel.stats().transmissions, serial.stats().transmissions);
+    EXPECT_EQ(parallel.stats().receptions, serial.stats().receptions);
+    EXPECT_EQ(parallel.stats().rounds, serial.stats().rounds);
+  }
+}
+
+TEST(SimEngine, ParallelAddressedSendRequiresNeighbor) {
+  const Graph g = Graph::from_edges(3, EdgeList{{0, 1}, {1, 2}});
+  ThreadPool pool(2);
+  SyncEngine engine(
+      g, [](NodeId) { return std::make_unique<SendToStranger>(); });
+  EXPECT_THROW(engine.run(8, pool), InvalidArgument);
+}
+
+// Regression for the pre-PR5 re-entry bug: run() reset only the round
+// counter, so a second run() accumulated stats and replayed stale in-flight
+// messages whose payload views pointed into never-cleared arenas.
+TEST(SimEngine, RunTwiceYieldsFreshStatsAndIdenticalOutcome) {
+  const Graph g = Graph::from_edges(
+      5, EdgeList{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}});
+  SyncEngine engine(g, [](NodeId) { return std::make_unique<FloodAgent>(); });
+
+  EXPECT_TRUE(engine.run(64));
+  const SimStats first = engine.stats();
+  std::vector<std::size_t> first_seen;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    first_seen.push_back(dynamic_cast<FloodAgent&>(engine.agent(v)).seen_round_);
+  }
+
+  EXPECT_TRUE(engine.run(64));
+  EXPECT_EQ(engine.stats().rounds, first.rounds);
+  EXPECT_EQ(engine.stats().transmissions, first.transmissions);
+  EXPECT_EQ(engine.stats().receptions, first.receptions);
+  EXPECT_EQ(engine.stats().payload_words, first.payload_words);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(dynamic_cast<FloodAgent&>(engine.agent(v)).seen_round_,
+              first_seen[v])
+        << "node " << v;
+  }
+}
+
+TEST(SimEngine, RunTwiceRecreatesAgentsFromFactory) {
+  // The second run must not see first-run agent state: a once-only sender
+  // that latches would stay silent forever if agents were reused.
+  class Latch : public NodeAgent {
+   public:
+    void on_start(NodeContext& ctx) override {
+      if (ctx.id() == 0 && !fired_) {
+        fired_ = true;
+        ctx.broadcast(1, {11});
+      }
+    }
+    void on_message(NodeContext&, const Message& msg) override {
+      got = msg.data[0];
+    }
+    bool fired_ = false;
+    std::int64_t got = -1;
+  };
+  const Graph g = Graph::from_edges(2, EdgeList{{0, 1}});
+  SyncEngine engine(g, [](NodeId) { return std::make_unique<Latch>(); });
+  EXPECT_TRUE(engine.run(8));
+  EXPECT_EQ(dynamic_cast<Latch&>(engine.agent(1)).got, 11);
+  EXPECT_TRUE(engine.run(8));
+  EXPECT_EQ(dynamic_cast<Latch&>(engine.agent(1)).got, 11);
+  EXPECT_EQ(engine.stats().transmissions, 1u);
+}
+
 TEST(SimEngine, PayloadWordsAccounted) {
   class Chatty : public NodeAgent {
    public:
@@ -154,6 +239,69 @@ TEST(SimEngine, PayloadWordsAccounted) {
   SyncEngine engine(g, [](NodeId) { return std::make_unique<Chatty>(); });
   EXPECT_TRUE(engine.run(4));
   EXPECT_EQ(engine.stats().payload_words, 3u);
+}
+
+// Regression for the pre-PR5 capacity-stranding bug: reserve_block advanced
+// a monotone cursor past any block that could not fit the current payload
+// and never revisited it, so an alternating large/small intern pattern grew
+// the block list roughly one block per intern (each abandoned with most of
+// its capacity stranded). First-fit must keep the block count near the
+// volume bound total_words / kMinBlockWords.
+TEST(PayloadArena, AlternatingInternsKeepBlockCountBounded) {
+  PayloadArena arena;
+  const std::vector<std::int64_t> large(4000, 7);
+  const std::vector<std::int64_t> small(200, 9);
+  const std::size_t pairs = 200;
+  std::vector<PayloadView> views;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    views.push_back(arena.intern(large));
+    views.push_back(arena.intern(small));
+  }
+  // Volume bound: 200 * 4200 words / 4096 words-per-block ~ 206 blocks, plus
+  // slack for per-block fragmentation. The stranding implementation
+  // allocated ~2 blocks per pair (~400).
+  EXPECT_LE(arena.num_blocks(), 230u);
+  // Stability: every handed-out view still reads its own words.
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    const std::int64_t expect = (i % 2 == 0) ? 7 : 9;
+    ASSERT_EQ(views[i].size(), (i % 2 == 0) ? large.size() : small.size());
+    EXPECT_EQ(views[i][0], expect);
+    EXPECT_EQ(views[i][views[i].size() - 1], expect);
+  }
+}
+
+TEST(PayloadArena, ClearRecyclesAllBlocks) {
+  PayloadArena arena;
+  const std::vector<std::int64_t> large(3000, 1);
+  const std::vector<std::int64_t> small(50, 2);
+  const auto fill = [&] {
+    for (std::size_t i = 0; i < 40; ++i) {
+      arena.intern(large);
+      arena.intern(small);
+    }
+  };
+  fill();
+  const std::size_t after_first = arena.num_blocks();
+  // Steady-state reuse: identical rounds after clear() must not allocate
+  // any further blocks.
+  for (int round = 0; round < 5; ++round) {
+    arena.clear();
+    fill();
+    EXPECT_EQ(arena.num_blocks(), after_first) << "round " << round;
+  }
+}
+
+TEST(PayloadArena, InternedViewsSurviveMixedSizes) {
+  PayloadArena arena;
+  std::vector<std::pair<PayloadView, std::int64_t>> views;
+  for (std::int64_t i = 0; i < 500; ++i) {
+    const std::size_t len = 1 + static_cast<std::size_t>((i * 37) % 600);
+    const std::vector<std::int64_t> words(len, i);
+    views.emplace_back(arena.intern(words), i);
+  }
+  for (const auto& [view, tag] : views) {
+    for (const std::int64_t w : view) ASSERT_EQ(w, tag);
+  }
 }
 
 }  // namespace

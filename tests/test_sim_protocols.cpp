@@ -43,9 +43,9 @@ TEST(NeighborhoodDiscovery, MatchesBfsBalls) {
       for (NodeId o = 0; o < net.num_nodes(); ++o) {
         if (o == v || tree.dist[o] == kUnreachable) continue;
         ++reachable;
-        const auto it = agent.known().find(o);
-        ASSERT_NE(it, agent.known().end()) << "node " << v << " origin " << o;
-        EXPECT_EQ(it->second.dist, tree.dist[o]);
+        const auto* rec = agent.known().find(o);
+        ASSERT_NE(rec, nullptr) << "node " << v << " origin " << o;
+        EXPECT_EQ(rec->dist, tree.dist[o]);
       }
       EXPECT_EQ(agent.known().size(), reachable) << "node " << v;
     }
@@ -62,7 +62,7 @@ TEST(NeighborhoodDiscovery, ParentsAreCanonical) {
   for (NodeId v = 0; v < net.num_nodes(); ++v) {
     const auto& agent =
         dynamic_cast<const NeighborhoodDiscoveryAgent&>(engine.agent(v));
-    for (const auto& [origin, rec] : agent.known()) {
+    for (const auto& [origin, rec] : agent.known().sorted_items()) {
       // Parent pointers must match the centralized canonical BFS tree of
       // that origin (parents point one hop toward the origin).
       const BfsTree tree = bfs(net.graph, origin);
