@@ -1,0 +1,597 @@
+#include "khop/dynamic/churn_engine.hpp"
+
+#include <algorithm>
+
+#include "khop/common/assert.hpp"
+#include "khop/dynamic/churn_reference.hpp"
+#include "khop/gateway/lmst.hpp"
+#include "khop/gateway/mesh.hpp"
+#include "khop/nbr/neighbor_rules.hpp"
+
+namespace khop {
+
+ChurnEngine::ChurnEngine(const Graph& g0, Hops k, Pipeline pipeline,
+                         ChurnEngineOptions opts)
+    : g_(g0),
+      k_(k),
+      horizon_(2 * k + 1),
+      pipeline_(pipeline),
+      spec_(spec_for(pipeline)),
+      opts_(opts) {
+  KHOP_REQUIRE(k >= 1, "k must be at least 1");
+  KHOP_REQUIRE(pipeline != Pipeline::kGmst,
+               "a global MST has no local repair scope; use an NC/AC pipeline");
+  c_ = khop_clustering(g0, k, AffiliationRule::kIdBased);
+  heads_ = c_.heads;
+  member_pos_.assign(g_.capacity(), 0);
+  for (NodeId v = 0; v < g_.capacity(); ++v) {
+    auto& list = members_[c_.head_of[v]];
+    member_pos_[v] = static_cast<std::uint32_t>(list.size());
+    list.push_back(v);
+  }
+  const NeighborSelection sel0 =
+      select_neighbors(g0, c_, spec_.neighbor_rule, ws_);
+  for (std::uint32_t i = 0; i < heads_.size(); ++i) {
+    sel_[heads_[i]] = sel0.selected[i];
+  }
+  links_ = VirtualLinkMap::build_bounded(g0, sel0.head_pairs, horizon_, ws_);
+  combine();
+}
+
+void ChurnEngine::touch(NodeId v, ChurnEventReport& report) {
+  if (!touched_.test(v)) {
+    touched_.set(v);
+    ++report.touched_nodes;
+  }
+}
+
+void ChurnEngine::detach_member(NodeId v) {
+  auto& list = members_.at(c_.head_of[v]);
+  const std::uint32_t i = member_pos_[v];
+  list[i] = list.back();
+  member_pos_[list[i]] = i;
+  list.pop_back();
+}
+
+void ChurnEngine::attach_member(NodeId v, NodeId head, Hops dist) {
+  auto& list = members_.at(head);
+  member_pos_[v] = static_cast<std::uint32_t>(list.size());
+  list.push_back(v);
+  c_.head_of[v] = head;
+  c_.dist_to_head[v] = dist;
+}
+
+void ChurnEngine::mark_from_seed(NodeId s, bool mark_k) {
+  ws_.bfs.run(g_, s, horizon_);
+  for (NodeId w : ws_.bfs.reached()) {
+    if (c_.head_of[w] != w) continue;  // reached nodes are alive; heads only
+    affected_H_.insert(w);
+    if (mark_k && ws_.bfs.dist(w) <= k_) affected_k_.insert(w);
+  }
+}
+
+bool ChurnEngine::probe_connected(NodeId a, NodeId b) {
+  ws_.bfs.run(g_, a, opts_.probe_horizon);
+  if (ws_.bfs.dist(b) != kUnreachable) return true;
+  ws_.bfs.run(g_, a, kUnreachable);
+  return ws_.bfs.dist(b) != kUnreachable;
+}
+
+std::size_t ChurnEngine::count_groups(const std::vector<NodeId>& nodes) {
+  if (nodes.size() <= 1) return nodes.size();
+  // Cheap common case: one bounded probe reaches every node -> one group.
+  ws_.bfs.run(g_, nodes.front(), opts_.probe_horizon);
+  bool all = true;
+  for (NodeId v : nodes) {
+    if (ws_.bfs.dist(v) == kUnreachable) {
+      all = false;
+      break;
+    }
+  }
+  if (all) return 1;
+  std::vector<NodeId> remaining(nodes);
+  std::sort(remaining.begin(), remaining.end());
+  std::size_t groups = 0;
+  while (!remaining.empty()) {
+    ws_.bfs.run(g_, remaining.front(), kUnreachable);
+    std::erase_if(remaining,
+                  [&](NodeId v) { return ws_.bfs.dist(v) != kUnreachable; });
+    ++groups;
+  }
+  return groups;
+}
+
+void ChurnEngine::drop_dead_head(NodeId h) {
+  const auto it = sel_.find(h);
+  if (it != sel_.end()) {
+    for (NodeId v : it->second) {
+      links_.erase(std::min(h, v), std::max(h, v));
+    }
+    sel_.erase(it);
+  }
+  const auto pos = std::lower_bound(heads_.begin(), heads_.end(), h);
+  KHOP_ASSERT(pos != heads_.end() && *pos == h, "dead head not in heads_");
+  heads_.erase(pos);
+}
+
+ChurnEventReport ChurnEngine::apply(const ChurnEvent& e) {
+  ChurnEventReport report;
+  ++stats_.events;
+  affected_k_.clear();
+  affected_H_.clear();
+  touched_.begin(g_.capacity());
+
+  // Validation + structural no-op detection (before any state changes).
+  switch (e.type) {
+    case ChurnEventType::kFail:
+      ++stats_.fails;
+      KHOP_REQUIRE(g_.alive(e.a), "failure event names a dead node");
+      break;
+    case ChurnEventType::kJoin:
+      ++stats_.joins;
+      KHOP_REQUIRE(!g_.alive(e.a), "join event names an alive node");
+      for (NodeId w : e.neighbors) {
+        KHOP_REQUIRE(g_.alive(w), "join neighbor must be alive");
+      }
+      break;
+    case ChurnEventType::kLinkDown:
+      ++stats_.link_downs;
+      KHOP_REQUIRE(g_.alive(e.a) && g_.alive(e.b),
+                   "link event endpoints must be alive");
+      if (!g_.has_edge(e.a, e.b)) {
+        ++stats_.noop_events;
+        report.structural_noop = true;
+        return report;
+      }
+      break;
+    case ChurnEventType::kLinkUp:
+      ++stats_.link_ups;
+      KHOP_REQUIRE(g_.alive(e.a) && g_.alive(e.b),
+                   "link event endpoints must be alive");
+      if (g_.has_edge(e.a, e.b)) {
+        ++stats_.noop_events;
+        report.structural_noop = true;
+        return report;
+      }
+      break;
+  }
+
+  std::vector<NodeId> orphans;
+  std::vector<NodeId> former;  // kFail: neighbors at the instant of death
+
+  // Pre-mutation: seed sweeps on the OLD topology for removals (distance
+  // increases travel along paths that existed before the cut), and
+  // component pre-checks for additive events (connectivity without the new
+  // element).
+  switch (e.type) {
+    case ChurnEventType::kFail: {
+      const auto nb = g_.neighbors(e.a);
+      former.assign(nb.begin(), nb.end());
+      mark_from_seed(e.a, /*mark_k=*/true);
+      break;
+    }
+    case ChurnEventType::kLinkDown:
+      mark_from_seed(e.a, /*mark_k=*/true);
+      mark_from_seed(e.b, /*mark_k=*/true);
+      break;
+    case ChurnEventType::kLinkUp:
+      if (!probe_connected(e.a, e.b)) {
+        --num_components_;
+        ++stats_.merges;
+        report.component_delta = -1;
+      }
+      break;
+    case ChurnEventType::kJoin: {
+      const std::size_t groups = count_groups(e.neighbors);
+      report.component_delta = 1 - static_cast<int>(groups);
+      num_components_ =
+          static_cast<std::size_t>(static_cast<long long>(num_components_) +
+                                   report.component_delta);
+      if (groups > 1) stats_.merges += groups - 1;
+      break;
+    }
+  }
+
+  apply_event(g_, e);
+
+  // Post-mutation: component accounting for removals (grouping needs the
+  // NEW topology) and seed sweeps for additive events (distance decreases
+  // travel along paths that exist only now).
+  switch (e.type) {
+    case ChurnEventType::kFail: {
+      const int delta =
+          former.empty() ? -1
+                         : static_cast<int>(count_groups(former)) - 1;
+      num_components_ = static_cast<std::size_t>(
+          static_cast<long long>(num_components_) + delta);
+      report.component_delta = delta;
+      if (delta > 0) stats_.partitions += static_cast<std::size_t>(delta);
+      break;
+    }
+    case ChurnEventType::kLinkDown:
+      if (!probe_connected(e.a, e.b)) {
+        ++num_components_;
+        ++stats_.partitions;
+        report.component_delta = 1;
+      }
+      break;
+    case ChurnEventType::kLinkUp:
+      mark_from_seed(e.a, /*mark_k=*/true);
+      mark_from_seed(e.b, /*mark_k=*/true);
+      break;
+    case ChurnEventType::kJoin:
+      mark_from_seed(e.a, /*mark_k=*/true);
+      break;
+  }
+
+  // Membership bookkeeping for the event's own vertex.
+  if (e.type == ChurnEventType::kFail) {
+    if (c_.head_of[e.a] == e.a) {
+      // A head died: all its members are orphans; retire its selection and
+      // owned links (surviving peers re-sweep via the pre-mutation marks).
+      std::vector<NodeId> ms = std::move(members_.at(e.a));
+      members_.erase(e.a);
+      for (NodeId m : ms) {
+        if (m == e.a) continue;
+        c_.head_of[m] = kInvalidNode;
+        c_.dist_to_head[m] = kUnreachable;
+        orphans.push_back(m);
+      }
+      drop_dead_head(e.a);
+    } else {
+      detach_member(e.a);
+    }
+    c_.head_of[e.a] = kInvalidNode;
+    c_.dist_to_head[e.a] = kUnreachable;
+    affected_k_.erase(e.a);
+    affected_H_.erase(e.a);
+  } else if (e.type == ChurnEventType::kJoin) {
+    c_.head_of[e.a] = kInvalidNode;
+    c_.dist_to_head[e.a] = kUnreachable;
+    orphans.push_back(e.a);
+  }
+
+  repair_distances(orphans, report);
+  repair_affiliations(orphans, report);
+  resweep_heads(report);
+  combine();
+
+  stats_.orphans += report.orphans;
+  stats_.reaffiliations += report.reaffiliated;
+  stats_.new_heads += report.new_heads;
+  stats_.heads_resweeped += report.heads_resweeped;
+  stats_.touched_nodes += report.touched_nodes;
+  return report;
+}
+
+void ChurnEngine::repair_distances(std::vector<NodeId>& orphans,
+                                   ChurnEventReport& report) {
+  std::vector<NodeId> hs(affected_k_.begin(), affected_k_.end());
+  std::sort(hs.begin(), hs.end());
+  std::vector<NodeId> to_orphan;
+  for (NodeId h : hs) {
+    if (!is_live_head(h)) continue;
+    ws_.bfs.run(g_, h, k_);
+    to_orphan.clear();
+    for (NodeId m : members_.at(h)) {
+      if (m == h) continue;
+      touch(m, report);
+      const Hops d = ws_.bfs.dist(m);
+      if (d == kUnreachable) {
+        to_orphan.push_back(m);  // pushed beyond k (or cut off entirely)
+      } else {
+        c_.dist_to_head[m] = d;
+      }
+    }
+    for (NodeId m : to_orphan) {
+      detach_member(m);
+      c_.head_of[m] = kInvalidNode;
+      c_.dist_to_head[m] = kUnreachable;
+      orphans.push_back(m);
+    }
+  }
+}
+
+void ChurnEngine::repair_affiliations(std::vector<NodeId>& orphans,
+                                      ChurnEventReport& report) {
+  if (orphans.empty()) return;
+  std::sort(orphans.begin(), orphans.end());
+  report.orphans = orphans.size();
+
+  // Adoption: the current heads are exactly the pre-event survivors
+  // (election has not run yet). reached() is (distance, id)-ordered, so the
+  // first head hit is the policy's adoption target.
+  std::vector<NodeId> undecided;
+  for (NodeId u : orphans) {
+    touch(u, report);
+    ws_.bfs.run(g_, u, k_);
+    NodeId adopted = kInvalidNode;
+    for (NodeId w : ws_.bfs.reached()) {
+      if (w != u && is_live_head(w)) {
+        adopted = w;
+        break;
+      }
+    }
+    if (adopted != kInvalidNode) {
+      attach_member(u, adopted, ws_.bfs.dist(adopted));
+      ++report.reaffiliated;
+    } else {
+      undecided.push_back(u);
+    }
+  }
+
+  // Iterative lowest-id election among the rest (partitioned groups elect
+  // independently: the k-bounded sweeps never cross a component boundary).
+  std::unordered_set<NodeId> undecided_set(undecided.begin(), undecided.end());
+  while (!undecided.empty()) {
+    std::vector<NodeId> winners;
+    for (NodeId u : undecided) {
+      ws_.bfs.run(g_, u, k_);
+      bool wins = true;
+      for (NodeId w : ws_.bfs.reached()) {
+        if (w != u && w < u && undecided_set.contains(w)) {
+          wins = false;
+          break;
+        }
+      }
+      if (wins) winners.push_back(u);
+    }
+    KHOP_ASSERT(!winners.empty(), "election round produced no winner");
+    const std::unordered_set<NodeId> winner_set(winners.begin(),
+                                                winners.end());
+    for (NodeId w : winners) {
+      c_.head_of[w] = w;
+      c_.dist_to_head[w] = 0;
+      heads_.insert(std::lower_bound(heads_.begin(), heads_.end(), w), w);
+      member_pos_[w] = 0;
+      members_[w] = {w};
+      undecided_set.erase(w);
+      ++report.new_heads;
+    }
+    std::vector<NodeId> next;
+    for (NodeId u : undecided) {
+      if (winner_set.contains(u)) continue;
+      ws_.bfs.run(g_, u, k_);
+      NodeId joined = kInvalidNode;
+      for (NodeId w : ws_.bfs.reached()) {
+        if (w != u && winner_set.contains(w)) {
+          joined = w;
+          break;
+        }
+      }
+      if (joined != kInvalidNode) {
+        attach_member(u, joined, ws_.bfs.dist(joined));
+        undecided_set.erase(u);
+        ++report.reaffiliated;
+      } else {
+        next.push_back(u);
+      }
+    }
+    undecided = std::move(next);
+  }
+
+  // Pass B: membership and head-set changes shift selection witnesses, so
+  // every re-affiliated node and new head seeds a selection-scope mark.
+  for (NodeId u : orphans) mark_from_seed(u, /*mark_k=*/false);
+}
+
+void ChurnEngine::resweep_one(NodeId h) {
+  std::vector<NodeId> old_sel = std::move(sel_[h]);  // creates for new heads
+  ws_.bfs.run(g_, h, horizon_);
+
+  std::vector<NodeId> nsel;
+  if (spec_.neighbor_rule == NeighborRule::kAllWithin2k1) {
+    // Exactly the canonical per-head sweep of gateway/head_sweep.cpp.
+    for (NodeId w : ws_.bfs.reached()) {
+      if (w != h && c_.head_of[w] == w) nsel.push_back(w);
+    }
+    std::sort(nsel.begin(), nsel.end());
+  } else {
+    // A-NCR: heads of clusters adjacent to h's cluster. Every witness edge
+    // has one endpoint among h's members, so a member edge scan finds all.
+    for (NodeId m : members_.at(h)) {
+      for (NodeId y : g_.neighbors(m)) {
+        const NodeId h2 = c_.head_of[y];
+        if (h2 != h) nsel.push_back(h2);
+      }
+    }
+    std::sort(nsel.begin(), nsel.end());
+    nsel.erase(std::unique(nsel.begin(), nsel.end()), nsel.end());
+  }
+
+  // Upsert the links this head owns (smaller endpoint). Strict domination
+  // keeps every selected pair within 2k+1 hops, so the bounded sweep always
+  // reaches the target.
+  for (NodeId v : nsel) {
+    if (v <= h) continue;
+    KHOP_ASSERT(ws_.bfs.dist(v) != kUnreachable,
+                "selected head beyond the 2k+1 horizon");
+    VirtualLink l;
+    l.u = h;
+    l.v = v;
+    l.hops = ws_.bfs.dist(v);
+    l.path = ws_.bfs.extract_path(v);
+    links_.insert(std::move(l));
+  }
+  // Selection changes are symmetric, so a dropped pair is seen (and safely
+  // erased, possibly twice) by whichever endpoint re-sweeps.
+  for (NodeId v : old_sel) {
+    if (!std::binary_search(nsel.begin(), nsel.end(), v)) {
+      links_.erase(std::min(h, v), std::max(h, v));
+    }
+  }
+  sel_[h] = std::move(nsel);
+}
+
+void ChurnEngine::resweep_heads(ChurnEventReport& report) {
+  std::vector<NodeId> hs(affected_H_.begin(), affected_H_.end());
+  std::sort(hs.begin(), hs.end());
+  for (NodeId h : hs) {
+    if (!is_live_head(h)) continue;
+    touch(h, report);
+    resweep_one(h);
+    ++report.heads_resweeped;
+  }
+}
+
+void ChurnEngine::combine() {
+  c_.heads = heads_;
+  NeighborSelection sel;
+  sel.rule = spec_.neighbor_rule;
+  sel.selected.resize(heads_.size());
+  for (std::uint32_t i = 0; i < heads_.size(); ++i) {
+    const NodeId h = heads_[i];
+    const auto it = sel_.find(h);
+    KHOP_ASSERT(it != sel_.end(), "live head without a selection entry");
+    sel.selected[i] = it->second;
+    for (NodeId v : it->second) {
+      if (v > h) sel.head_pairs.emplace_back(h, v);
+    }
+  }
+  // Ascending heads emitting ascending larger partners: head_pairs comes
+  // out sorted + unique, matching finalize_selection's canonical order.
+  backbone_.pipeline = pipeline_;
+  backbone_.spec = spec_;
+  backbone_.heads = c_.heads;
+  if (spec_.gateway == GatewayAlgorithm::kMesh) {
+    MeshResult r = mesh_gateways(c_, sel, links_);
+    backbone_.gateways = std::move(r.gateways);
+    backbone_.virtual_links = std::move(r.kept_links);
+  } else {
+    LmstResult r = lmst_gateways(c_, sel, links_, spec_.lmst_keep);
+    backbone_.gateways = std::move(r.gateways);
+    backbone_.virtual_links = std::move(r.kept_links);
+  }
+}
+
+std::size_t ChurnEngine::run(const ChurnTrace& trace) {
+  std::size_t applied = 0;
+  for (const ChurnEvent& e : trace.events()) {
+    apply(e);
+    ++applied;
+    if (opts_.audit_every != 0 && applied % opts_.audit_every == 0) {
+      const std::string s = audit();
+      if (!s.empty()) {
+        throw InvariantViolation("churn audit failed after event " +
+                                 std::to_string(applied) + ": " + s);
+      }
+    }
+  }
+  const std::string s = audit();
+  if (!s.empty()) throw InvariantViolation("final churn audit failed: " + s);
+  return applied;
+}
+
+std::string ChurnEngine::audit() {
+  ++stats_.audits;
+  if (std::string s = g_.check_consistency(); !s.empty()) return s;
+  const std::size_t cap = g_.capacity();
+
+  std::vector<NodeId> expect_heads;
+  for (NodeId v = 0; v < cap; ++v) {
+    if (g_.alive(v)) {
+      if (c_.head_of[v] == kInvalidNode) return "alive node without a head";
+      if (c_.head_of[v] == v) expect_heads.push_back(v);
+    } else if (c_.head_of[v] != kInvalidNode ||
+               c_.dist_to_head[v] != kUnreachable) {
+      return "dead node retains clustering state";
+    }
+  }
+  if (expect_heads != heads_) return "heads_ out of sync with head_of";
+  if (c_.heads != heads_) return "clustering heads out of sync";
+
+  if (members_.size() != heads_.size()) return "member list count mismatch";
+  std::size_t member_count = 0;
+  for (const auto& [h, list] : members_) {
+    if (!is_live_head(h)) return "member list kept for a non-head";
+    for (std::uint32_t i = 0; i < list.size(); ++i) {
+      const NodeId v = list[i];
+      if (!g_.alive(v) || c_.head_of[v] != h || member_pos_[v] != i) {
+        return "member list corrupt";
+      }
+    }
+    member_count += list.size();
+  }
+  if (member_count != g_.num_alive()) {
+    return "member lists do not partition the alive nodes";
+  }
+
+  // Exact distances + strict domination, against fresh k-bounded BFS.
+  for (NodeId h : heads_) {
+    ws_.bfs.run(g_, h, k_);
+    for (NodeId m : members_.at(h)) {
+      const Hops d = ws_.bfs.dist(m);
+      if (d == kUnreachable) return "member beyond k of its head";
+      if (c_.dist_to_head[m] != d) return "stale dist_to_head";
+    }
+  }
+
+  // Selection state vs direct recomputation.
+  if (sel_.size() != heads_.size()) return "selection map size mismatch";
+  if (spec_.neighbor_rule == NeighborRule::kAllWithin2k1) {
+    for (NodeId h : heads_) {
+      ws_.bfs.run(g_, h, horizon_);
+      std::vector<NodeId> want;
+      for (NodeId w : ws_.bfs.reached()) {
+        if (w != h && c_.head_of[w] == w) want.push_back(w);
+      }
+      std::sort(want.begin(), want.end());
+      if (sel_.at(h) != want) return "stale NC selection";
+    }
+  } else {
+    std::unordered_map<NodeId, std::vector<NodeId>> want;
+    for (NodeId u = 0; u < cap; ++u) {
+      for (NodeId v : g_.neighbors(u)) {
+        if (u >= v) continue;
+        const NodeId hu = c_.head_of[u];
+        const NodeId hv = c_.head_of[v];
+        if (hu == hv) continue;
+        want[hu].push_back(hv);
+        want[hv].push_back(hu);
+      }
+    }
+    for (NodeId h : heads_) {
+      auto& list = want[h];
+      std::sort(list.begin(), list.end());
+      list.erase(std::unique(list.begin(), list.end()), list.end());
+      if (sel_.at(h) != list) return "stale AC selection";
+    }
+  }
+
+  // Virtual links: exactly the selected pairs, each with the canonical
+  // bounded shortest path.
+  std::size_t pair_count = 0;
+  for (NodeId h : heads_) {
+    for (NodeId v : sel_.at(h)) {
+      if (v <= h) continue;
+      ++pair_count;
+      if (!links_.contains(h, v)) return "missing virtual link";
+    }
+  }
+  if (links_.all().size() != pair_count) return "stale virtual links";
+  for (const VirtualLink& l : links_.all()) {
+    if (!is_live_head(l.u) || !is_live_head(l.v)) {
+      return "virtual link endpoint is not a live head";
+    }
+    ws_.bfs.run(g_, l.u, horizon_);
+    if (ws_.bfs.dist(l.v) != l.hops) return "virtual link hops not shortest";
+    if (ws_.bfs.extract_path(l.v) != l.path) {
+      return "virtual link path not canonical";
+    }
+  }
+
+  // The final backbone vs a per-component full recompute (the PR 3-5
+  // oracle discipline extended to churn state).
+  const Backbone oracle =
+      rebuild_backbone_oracle(g_, k_, c_.head_of, pipeline_);
+  if (backbone_.heads != oracle.heads) return "backbone heads diverge";
+  if (backbone_.gateways != oracle.gateways) {
+    return "backbone gateways diverge from full recompute";
+  }
+  if (backbone_.virtual_links != oracle.virtual_links) {
+    return "backbone kept links diverge from full recompute";
+  }
+  return {};
+}
+
+}  // namespace khop

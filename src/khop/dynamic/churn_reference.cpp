@@ -1,0 +1,200 @@
+#include "khop/dynamic/churn_reference.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "khop/common/assert.hpp"
+#include "khop/graph/bfs.hpp"
+#include "khop/graph/components.hpp"
+#include "khop/graph/subgraph.hpp"
+
+namespace khop {
+
+Backbone rebuild_backbone_oracle(const DynamicGraph& g, Hops k,
+                                 const std::vector<NodeId>& head_of,
+                                 Pipeline pipeline) {
+  KHOP_REQUIRE(head_of.size() == g.capacity(),
+               "head assignment does not match graph");
+  const Graph snap = g.snapshot();
+  const Components comps = connected_components(snap);
+
+  // Group alive nodes by component (dead nodes are isolated singletons in
+  // the snapshot; skipping them drops their pseudo-components entirely).
+  std::unordered_map<NodeId, std::vector<NodeId>> by_comp;
+  for (NodeId v = 0; v < snap.num_nodes(); ++v) {
+    if (g.alive(v)) by_comp[comps.label[v]].push_back(v);
+  }
+  std::vector<NodeId> labels;
+  labels.reserve(by_comp.size());
+  for (const auto& [label, nodes] : by_comp) labels.push_back(label);
+  std::sort(labels.begin(), labels.end());
+
+  Backbone out;
+  out.pipeline = pipeline;
+  out.spec = spec_for(pipeline);
+  for (NodeId label : labels) {
+    const std::vector<NodeId>& nodes = by_comp[label];  // ascending already
+    const InducedSubgraph sub = induced_subgraph(snap, nodes);
+
+    // Project the head assignment into the subgraph. Relabelling is
+    // order-preserving, so every min-id tie-break below matches what the
+    // same computation over original ids would decide.
+    Clustering c;
+    c.k = k;
+    const std::size_t sn = sub.graph.num_nodes();
+    c.head_of.resize(sn);
+    c.dist_to_head.assign(sn, 0);
+    c.cluster_of.resize(sn);
+    for (NodeId local = 0; local < sn; ++local) {
+      const NodeId orig_head = head_of[sub.original_ids[local]];
+      KHOP_REQUIRE(orig_head != kInvalidNode, "alive node without a head");
+      const NodeId local_head = sub.new_id[orig_head];
+      KHOP_REQUIRE(local_head != kInvalidNode,
+                   "head outside its member's component");
+      c.head_of[local] = local_head;
+      if (c.head_of[local] == local) c.heads.push_back(local);
+    }
+    std::unordered_map<NodeId, std::uint32_t> head_index;
+    for (std::uint32_t i = 0; i < c.heads.size(); ++i) {
+      head_index[c.heads[i]] = i;
+    }
+    for (NodeId local = 0; local < sn; ++local) {
+      c.cluster_of[local] = head_index.at(c.head_of[local]);
+    }
+
+    Backbone b = build_backbone(sub.graph, c, pipeline);
+    for (NodeId h : b.heads) out.heads.push_back(sub.original_ids[h]);
+    for (NodeId gw : b.gateways) out.gateways.push_back(sub.original_ids[gw]);
+    for (const auto& [u, v] : b.virtual_links) {
+      out.virtual_links.emplace_back(sub.original_ids[u],
+                                     sub.original_ids[v]);
+    }
+  }
+  std::sort(out.heads.begin(), out.heads.end());
+  std::sort(out.gateways.begin(), out.gateways.end());
+  std::sort(out.virtual_links.begin(), out.virtual_links.end());
+  return out;
+}
+
+ReferenceChurnMaintainer::ReferenceChurnMaintainer(const Graph& g0, Hops k,
+                                                   Pipeline pipeline)
+    : g_(g0), k_(k), pipeline_(pipeline) {
+  const Clustering c = khop_clustering(g0, k, AffiliationRule::kIdBased);
+  head_of_ = c.head_of;
+  dist_ = c.dist_to_head;
+}
+
+std::vector<NodeId> ReferenceChurnMaintainer::heads() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < g_.capacity(); ++v) {
+    if (g_.alive(v) && head_of_[v] == v) out.push_back(v);
+  }
+  return out;
+}
+
+void ReferenceChurnMaintainer::apply(const ChurnEvent& e) {
+  if (!apply_event(g_, e)) return;  // structural no-op
+  if (e.type == ChurnEventType::kFail) {
+    head_of_[e.a] = kInvalidNode;
+    dist_[e.a] = kUnreachable;
+  } else if (e.type == ChurnEventType::kJoin) {
+    head_of_[e.a] = kInvalidNode;  // enters as an orphan
+    dist_[e.a] = kUnreachable;
+  }
+
+  const Graph snap = g_.snapshot();
+  const std::vector<NodeId> survivors = heads();
+  const std::unordered_set<NodeId> survivor_set(survivors.begin(),
+                                                survivors.end());
+
+  // Exact member distances from every surviving head; members pushed beyond
+  // k (or cut off entirely) become orphans. Policy step 1.
+  std::vector<NodeId> orphans;
+  std::unordered_map<NodeId, BfsTree> head_ball;
+  for (NodeId h : survivors) head_ball[h] = bfs_bounded(snap, h, k_);
+  for (NodeId v = 0; v < g_.capacity(); ++v) {
+    if (!g_.alive(v)) continue;
+    const NodeId h = head_of_[v];
+    if (h == kInvalidNode || !survivor_set.contains(h)) {
+      orphans.push_back(v);
+      continue;
+    }
+    const Hops d = head_ball.at(h).dist[v];
+    if (d == kUnreachable) {
+      orphans.push_back(v);
+    } else {
+      dist_[v] = d;
+    }
+  }
+
+  // Adoption: nearest surviving pre-event head within k, ties to the
+  // smaller id. BfsScratch::reached() is level-ordered and ascending within
+  // a level, so the first head found is the (distance, id) minimum.
+  BfsScratch bfs;
+  std::vector<NodeId> undecided;
+  for (NodeId u : orphans) {
+    bfs.run(snap, u, k_);
+    NodeId adopted = kInvalidNode;
+    for (NodeId w : bfs.reached()) {
+      if (w != u && survivor_set.contains(w)) {
+        adopted = w;
+        break;
+      }
+    }
+    if (adopted != kInvalidNode) {
+      head_of_[u] = adopted;
+      dist_[u] = bfs.dist(adopted);
+    } else {
+      head_of_[u] = kInvalidNode;
+      undecided.push_back(u);
+    }
+  }
+
+  // Iterative lowest-id election among the rest. Policy step 3.
+  std::unordered_set<NodeId> undecided_set(undecided.begin(), undecided.end());
+  while (!undecided.empty()) {
+    std::vector<NodeId> winners;
+    for (NodeId u : undecided) {
+      bfs.run(snap, u, k_);
+      bool wins = true;
+      for (NodeId w : bfs.reached()) {
+        if (w != u && w < u && undecided_set.contains(w)) {
+          wins = false;
+          break;
+        }
+      }
+      if (wins) winners.push_back(u);
+    }
+    KHOP_ASSERT(!winners.empty(), "election round produced no winner");
+    const std::unordered_set<NodeId> winner_set(winners.begin(),
+                                                winners.end());
+    for (NodeId w : winners) {
+      head_of_[w] = w;
+      dist_[w] = 0;
+      undecided_set.erase(w);
+    }
+    std::vector<NodeId> next;
+    for (NodeId u : undecided) {
+      if (winner_set.contains(u)) continue;
+      bfs.run(snap, u, k_);
+      NodeId joined = kInvalidNode;
+      for (NodeId w : bfs.reached()) {
+        if (w != u && winner_set.contains(w)) {
+          joined = w;
+          break;
+        }
+      }
+      if (joined != kInvalidNode) {
+        head_of_[u] = joined;
+        dist_[u] = bfs.dist(joined);
+        undecided_set.erase(u);
+      } else {
+        next.push_back(u);
+      }
+    }
+    undecided = std::move(next);
+  }
+}
+
+}  // namespace khop

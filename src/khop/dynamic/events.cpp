@@ -155,10 +155,9 @@ FailureRepairReport handle_node_failure(const Graph& g, const Clustering& c,
     if (v != failed) keep.push_back(v);
   }
   rep.remainder = induced_subgraph(g, keep);
-  if (!is_connected(rep.remainder.graph)) {
-    rep.remainder_connected = false;
-    return rep;
-  }
+  const Components comps = connected_components(rep.remainder.graph);
+  rep.num_components = comps.count;
+  rep.remainder_connected = comps.count == 1;
 
   // Count the heads whose virtual links routed through the failed node -
   // the locality scope of the gateway-failure fix.
@@ -195,8 +194,18 @@ FailureRepairReport handle_node_failure(const Graph& g, const Clustering& c,
     if (head_failed && c.head_of[old_v] == failed) {
       orphan[nv] = true;
       ++rep.orphaned_members;
+      continue;
+    }
+    const NodeId nh = to_new(c.head_of[old_v]);
+    if (comps.label[nv] != comps.label[nh]) {
+      // The failure separated this member from its surviving head: it must
+      // re-affiliate within its own component (graceful degradation instead
+      // of keeping a cross-partition membership).
+      orphan[nv] = true;
+      ++rep.orphaned_members;
+      ++rep.disconnected_orphans;
     } else {
-      preserved_head_of[nv] = to_new(c.head_of[old_v]);
+      preserved_head_of[nv] = nh;
     }
   }
 
@@ -209,6 +218,64 @@ FailureRepairReport handle_node_failure(const Graph& g, const Clustering& c,
     if (rep.clustering.dist_to_head[v] > rep.clustering.k) {
       ++rep.domination_violations;
     }
+  }
+
+  // Phase 2 on a partitioned remainder: rebuild and validate the backbone
+  // per surviving component (the relabelling is ascending, so canonical
+  // tie-breaks match a whole-graph run) and merge the results. This runs
+  // for every failure class — even a plain member can be a cut vertex, in
+  // which case the old CDS no longer spans each component's new heads.
+  if (!rep.remainder_connected) {
+    std::vector<std::vector<NodeId>> by_comp(comps.count);
+    for (NodeId v = 0; v < rg.num_nodes(); ++v) {
+      by_comp[comps.label[v]].push_back(v);
+    }
+    rep.backbone.pipeline = pipeline;
+    rep.backbone.spec = spec_for(pipeline);
+    for (const std::vector<NodeId>& nodes : by_comp) {
+      const InducedSubgraph sub = induced_subgraph(rg, nodes);
+      Clustering cs;
+      cs.k = rep.clustering.k;
+      const std::size_t sn = sub.graph.num_nodes();
+      cs.head_of.resize(sn);
+      cs.dist_to_head.resize(sn);
+      cs.cluster_of.assign(sn, 0);
+      for (NodeId lv = 0; lv < sn; ++lv) {
+        const NodeId ov = sub.original_ids[lv];
+        const NodeId lh = sub.new_id[rep.clustering.head_of[ov]];
+        KHOP_ASSERT(lh != kInvalidNode,
+                    "repaired head outside its member's component");
+        cs.head_of[lv] = lh;
+        cs.dist_to_head[lv] = rep.clustering.dist_to_head[ov];
+        if (lh == lv) cs.heads.push_back(lv);
+      }
+      for (NodeId lv = 0; lv < sn; ++lv) {
+        const auto it = std::lower_bound(cs.heads.begin(), cs.heads.end(),
+                                         cs.head_of[lv]);
+        cs.cluster_of[lv] =
+            static_cast<std::uint32_t>(std::distance(cs.heads.begin(), it));
+      }
+      const Backbone bs = build_backbone(sub.graph, cs, pipeline);
+      const std::string err = validate_backbone(sub.graph, bs);
+      if (!err.empty() && rep.validation_error.empty()) {
+        rep.validation_error = err;
+      }
+      for (NodeId h : bs.heads) {
+        rep.backbone.heads.push_back(sub.original_ids[h]);
+      }
+      for (NodeId w : bs.gateways) {
+        rep.backbone.gateways.push_back(sub.original_ids[w]);
+      }
+      for (const auto& [u, v] : bs.virtual_links) {
+        rep.backbone.virtual_links.emplace_back(sub.original_ids[u],
+                                                sub.original_ids[v]);
+      }
+    }
+    std::sort(rep.backbone.heads.begin(), rep.backbone.heads.end());
+    std::sort(rep.backbone.gateways.begin(), rep.backbone.gateways.end());
+    std::sort(rep.backbone.virtual_links.begin(),
+              rep.backbone.virtual_links.end());
+    return rep;
   }
 
   // Phase 2. Per the paper a plain-member failure leaves the CDS untouched;

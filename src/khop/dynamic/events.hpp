@@ -33,17 +33,25 @@ FailureClass classify_failure(const Clustering& c, const Backbone& b,
 
 struct FailureRepairReport {
   FailureClass failure_class = FailureClass::kPlainMember;
-  /// False when removing the node disconnects G; the repair is then not
-  /// performed (the paper's model assumes a connected remainder).
+  /// False when removing the node disconnects G. The repair is still
+  /// performed: each surviving component is repaired independently (members
+  /// cut off from their head are re-affiliated within their component, the
+  /// backbone is rebuilt per component) instead of bailing out.
   bool remainder_connected = true;
+  /// Connected components of the remainder (1 when no partition happened).
+  std::size_t num_components = 1;
 
   /// Remainder graph (n-1 nodes) and id maps (original <-> remainder).
   InducedSubgraph remainder;
-  /// Repaired clustering/backbone over remainder ids.
+  /// Repaired clustering/backbone over remainder ids. On a partition the
+  /// backbone is the union of the per-component backbones.
   Clustering clustering;
   Backbone backbone;
 
   std::size_t orphaned_members = 0;  ///< members needing a new cluster
+  /// Of those, members orphaned because the failure separated them from
+  /// their (surviving) head's component.
+  std::size_t disconnected_orphans = 0;
   std::size_t new_heads = 0;         ///< heads elected during the repair
   std::size_t preserved_heads = 0;   ///< surviving heads kept as-is
   /// Heads whose gateway choices referenced the failed node (the scope of

@@ -170,4 +170,27 @@ bool VirtualLinkMap::contains(NodeId a, NodeId b) const {
   return index_.contains(key(a, b));
 }
 
+void VirtualLinkMap::insert(VirtualLink l) {
+  KHOP_REQUIRE(l.u < l.v, "virtual link endpoints must be (smaller, larger)");
+  const auto [it, inserted] = index_.emplace(key(l.u, l.v), links_.size());
+  if (inserted) {
+    links_.push_back(std::move(l));
+  } else {
+    links_[it->second] = std::move(l);
+  }
+}
+
+bool VirtualLinkMap::erase(NodeId a, NodeId b) {
+  const auto it = index_.find(key(a, b));
+  if (it == index_.end()) return false;
+  const std::size_t pos = it->second;
+  index_.erase(it);
+  if (pos + 1 != links_.size()) {
+    links_[pos] = std::move(links_.back());
+    index_[key(links_[pos].u, links_[pos].v)] = pos;
+  }
+  links_.pop_back();
+  return true;
+}
+
 }  // namespace khop

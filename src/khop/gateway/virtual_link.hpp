@@ -75,6 +75,15 @@ class VirtualLinkMap {
 
   bool contains(NodeId a, NodeId b) const;
 
+  /// Upserts a link: replaces the stored path for the pair if present, else
+  /// adds it. Used by the churn engine's incremental re-sweeps.
+  /// \pre l.u < l.v
+  void insert(VirtualLink l);
+
+  /// Drops the link for the unordered pair {a, b} if present; returns
+  /// whether one was removed. O(1) (swap-pop).
+  bool erase(NodeId a, NodeId b);
+
   const std::vector<VirtualLink>& all() const noexcept { return links_; }
 
   /// Number of sources whose bounded sweep missed a target and was rerun

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "khop/common/assert.hpp"
+#include "khop/graph/dynamic_graph.hpp"
 
 namespace khop {
 
@@ -24,7 +25,8 @@ void BfsScratch::begin(std::size_t n) {
   next_.clear();
 }
 
-void BfsScratch::run(const Graph& g, NodeId source, Hops max_hops) {
+template <typename GraphT>
+void BfsScratch::run_any(const GraphT& g, NodeId source, Hops max_hops) {
   KHOP_REQUIRE(source < g.num_nodes(), "BFS source out of range");
   begin(g.num_nodes());
   source_ = source;
@@ -56,6 +58,15 @@ void BfsScratch::run(const Graph& g, NodeId source, Hops max_hops) {
     frontier_.swap(next_);
     ++level;
   }
+}
+
+void BfsScratch::run(const Graph& g, NodeId source, Hops max_hops) {
+  run_any(g, source, max_hops);
+}
+
+void BfsScratch::run(const DynamicGraph& g, NodeId source, Hops max_hops) {
+  KHOP_REQUIRE(g.alive(source), "BFS source must be alive");
+  run_any(g, source, max_hops);
 }
 
 void BfsScratch::run_multi(const Graph& g, std::span<const NodeId> seeds) {

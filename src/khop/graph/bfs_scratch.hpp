@@ -26,12 +26,21 @@
 
 namespace khop {
 
+class DynamicGraph;
+
 class BfsScratch {
  public:
   /// Bounded single-source BFS with canonical (min-id) parents; equivalent
   /// to bfs_bounded(g, source, max_hops) but touching only reached nodes.
   /// Pass kUnreachable as \p max_hops for an unbounded run.
   void run(const Graph& g, NodeId source, Hops max_hops);
+
+  /// The same canonical bounded BFS over a mutable DynamicGraph (the churn
+  /// layer's topology). Neighbor lists are sorted in both graph types, so a
+  /// run here is bit-identical to a run over DynamicGraph::snapshot(). Dead
+  /// nodes are isolated and therefore never reached.
+  /// \pre g.alive(source)
+  void run(const DynamicGraph& g, NodeId source, Hops max_hops);
 
   /// Multi-source BFS; equivalent to multi_source_bfs(g, seeds). After this
   /// run owner() is meaningful and parent() must not be used.
@@ -74,6 +83,11 @@ class BfsScratch {
  private:
   /// Grows the per-node arrays to \p n and opens a fresh epoch.
   void begin(std::size_t n);
+
+  /// Shared body of the single-source overloads; GraphT needs num_nodes()
+  /// and sorted neighbors(u). Defined in the .cpp and instantiated there.
+  template <typename GraphT>
+  void run_any(const GraphT& g, NodeId source, Hops max_hops);
 
   std::uint32_t epoch_ = 0;
   std::vector<std::uint32_t> stamp_;  ///< stamp_[v] == epoch_ <=> v visited

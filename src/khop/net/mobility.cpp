@@ -20,6 +20,32 @@ double gaussian(Rng& rng) {
 
 }  // namespace
 
+std::vector<LinkFlip> diff_topology(const Graph& before, const Graph& after) {
+  KHOP_REQUIRE(before.num_nodes() == after.num_nodes(),
+               "diff_topology requires one id space");
+  const auto old_edges = before.edge_list();  // sorted (min,max) pairs
+  const auto new_edges = after.edge_list();
+  std::vector<LinkFlip> flips;
+  std::vector<LinkFlip> ups;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < old_edges.size() || j < new_edges.size()) {
+    if (j == new_edges.size() ||
+        (i < old_edges.size() && old_edges[i] < new_edges[j])) {
+      flips.push_back({old_edges[i].first, old_edges[i].second, false});
+      ++i;
+    } else if (i == old_edges.size() || new_edges[j] < old_edges[i]) {
+      ups.push_back({new_edges[j].first, new_edges[j].second, true});
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  flips.insert(flips.end(), ups.begin(), ups.end());
+  return flips;
+}
+
 GaussMarkovModel::GaussMarkovModel(const GaussMarkovConfig& cfg,
                                    std::size_t num_nodes, Rng& rng)
     : cfg_(cfg), states_(num_nodes) {

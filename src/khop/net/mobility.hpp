@@ -43,6 +43,22 @@ class RandomWaypointModel {
   void pick_waypoint(NodeState& st, Rng& rng) const;
 };
 
+/// One link appearing (`up`) or disappearing between two topology samples.
+/// Endpoints are ordered u < v.
+struct LinkFlip {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+  bool up = false;
+};
+
+/// Diffs two topologies over the same id space into the link flips that turn
+/// \p before into \p after: the set difference of the edge lists, downs
+/// first, each half sorted lexicographically. This is what a beaconing layer
+/// would report between samples; feed it to khop/dynamic (e.g. ChurnEngine)
+/// to drive maintenance from mobility.
+/// \pre before.num_nodes() == after.num_nodes()
+std::vector<LinkFlip> diff_topology(const Graph& before, const Graph& after);
+
 /// Gauss-Markov mobility: per-node speed and direction evolve as first-order
 /// autoregressive processes, producing temporally correlated motion (no
 /// sharp waypoint turns). alpha = 1 is straight-line motion, alpha = 0 is

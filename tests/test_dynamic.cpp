@@ -138,6 +138,44 @@ TEST(Repair, DisconnectingFailureIsReported) {
   const Backbone b = build_backbone(g, c, Pipeline::kAcLmst);
   const auto rep = handle_node_failure(g, c, b, Pipeline::kAcLmst, 1);
   EXPECT_FALSE(rep.remainder_connected);
+  EXPECT_EQ(rep.num_components, 2u);
+  // The repair still runs: both singleton components end up headed.
+  EXPECT_TRUE(rep.validation_error.empty()) << rep.validation_error;
+  EXPECT_EQ(rep.clustering.heads.size(), 2u);
+  for (NodeId v = 0; v < rep.remainder.graph.num_nodes(); ++v) {
+    EXPECT_EQ(rep.clustering.dist_to_head[v], 0u);
+  }
+}
+
+TEST(Repair, PartitionRepairsEachComponent) {
+  // Two 5-node paths bridged by node 10; k = 2. Removing the bridge
+  // partitions the remainder into two components, each of which must keep a
+  // valid dominated clustering and backbone.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 0; v + 1 < 5; ++v) {
+    edges.push_back({v, v + 1});
+    edges.push_back({static_cast<NodeId>(5 + v), static_cast<NodeId>(6 + v)});
+  }
+  edges.push_back({4, 10});
+  edges.push_back({10, 5});
+  const Graph g = Graph::from_edges(11, edges);
+  const Clustering c = khop_clustering(g, 2);
+  const Backbone b = build_backbone(g, c, Pipeline::kAcLmst);
+
+  const auto rep = handle_node_failure(g, c, b, Pipeline::kAcLmst, 10);
+  EXPECT_FALSE(rep.remainder_connected);
+  EXPECT_EQ(rep.num_components, 2u);
+  EXPECT_TRUE(rep.validation_error.empty()) << rep.validation_error;
+  // Every survivor is dominated within its own component.
+  ASSERT_EQ(rep.remainder.graph.num_nodes(), 10u);
+  for (NodeId v = 0; v < 10; ++v) {
+    const NodeId h = rep.clustering.head_of[v];
+    ASSERT_NE(h, kInvalidNode);
+    EXPECT_NE(rep.clustering.dist_to_head[v], kUnreachable);
+    // Heads stay on the member's side of the cut (ids 0-4 vs 5-9 map to the
+    // same split in remainder ids because the victim had the largest id).
+    EXPECT_EQ(h < 5, v < 5);
+  }
 }
 
 TEST(Repair, RejectsBadVictim) {
