@@ -1,0 +1,111 @@
+/// \file alloc_hooks.cpp
+/// Replacement global operator new/delete that count heap allocations, so
+/// the bench harness can report allocs_per_rep (khop.bench schema v2).
+///
+/// The counter is a single relaxed atomic increment per allocation — cheap
+/// enough to leave on for every bench binary (the harness library always
+/// carries this TU; harness.cpp references alloc_count() so a static-lib
+/// link cannot drop it). Steady-state kernels are expected to report ~0:
+/// the workspace/arena discipline is exactly what this column audits.
+///
+/// Only counts, never re-routes: allocation is delegated to malloc/free, so
+/// sanitizers that interpose malloc keep working.
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace khop::bench {
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  // malloc(0) may return nullptr; operator new must not.
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* counted_alloc_aligned(std::size_t size, std::size_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = align;
+  return std::aligned_alloc(align, (size + align - 1) / align * align);
+}
+}  // namespace
+
+std::uint64_t alloc_count() noexcept {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+std::uint64_t peak_rss_bytes() noexcept {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(ru.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace khop::bench
+
+void* operator new(std::size_t size) {
+  void* p = khop::bench::counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = khop::bench::counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return khop::bench::counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return khop::bench::counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = khop::bench::counted_alloc_aligned(
+      size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = khop::bench::counted_alloc_aligned(
+      size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

@@ -49,6 +49,7 @@ const KernelTiming& Harness::time_kernel(const std::string& name,
   double total_ns = 0.0;
   double min_ns = std::numeric_limits<double>::infinity();
   const double budget_ns = opts_.min_seconds * 1e9;
+  const std::uint64_t allocs0 = alloc_count();
   while (row.reps < opts_.min_reps || total_ns < budget_ns) {
     const double t0 = now_ns();
     const double check = fn();
@@ -63,6 +64,8 @@ const KernelTiming& Harness::time_kernel(const std::string& name,
   }
   row.wall_ns_mean = total_ns / static_cast<double>(row.reps);
   row.wall_ns_min = min_ns;
+  row.allocs_per_rep = (alloc_count() - allocs0) / row.reps;
+  row.peak_rss_bytes = peak_rss_bytes();
   results_.push_back(row);
   return results_.back();
 }
@@ -98,7 +101,7 @@ std::string Harness::to_json() const {
   std::ostringstream os;
   os << "{\n";
   os << "  \"schema\": \"khop.bench\",\n";
-  os << "  \"schema_version\": 1,\n";
+  os << "  \"schema_version\": 2,\n";
   os << "  \"label\": \"" << label_ << "\",\n";
   os << "  \"kernels\": [\n";
   for (std::size_t i = 0; i < results_.size(); ++i) {
@@ -108,7 +111,9 @@ std::string Harness::to_json() const {
        << ", \"reps\": " << r.reps
        << ", \"wall_ns_mean\": " << num(r.wall_ns_mean)
        << ", \"wall_ns_min\": " << num(r.wall_ns_min)
-       << ", \"checksum\": " << num(r.checksum) << "}"
+       << ", \"checksum\": " << num(r.checksum)
+       << ", \"allocs_per_rep\": " << r.allocs_per_rep
+       << ", \"peak_rss_bytes\": " << r.peak_rss_bytes << "}"
        << (i + 1 < results_.size() ? "," : "") << "\n";
   }
   os << "  ],\n";

@@ -4,15 +4,16 @@
 /// report against. Also home of the shared bench artifact plumbing that used
 /// to be copy-pasted via figure_common.hpp.
 ///
-/// JSON schema (khop.bench, version 1):
+/// JSON schema (khop.bench, version 2):
 /// {
 ///   "schema": "khop.bench",
-///   "schema_version": 1,
+///   "schema_version": 2,
 ///   "label": "<trajectory label, e.g. PR3>",
 ///   "kernels": [
 ///     { "name": "clustering", "variant": "workspace", "n": 2000, "k": 2,
 ///       "reps": 5, "wall_ns_mean": 1.2e7, "wall_ns_min": 1.1e7,
-///       "checksum": 12345.0 }
+///       "checksum": 12345.0,
+///       "allocs_per_rep": 120, "peak_rss_bytes": 34000000 }
 ///   ],
 ///   "speedups": [
 ///     { "name": "clustering", "n": 2000, "speedup": 3.4 }
@@ -20,10 +21,15 @@
 /// }
 /// `checksum` is a variant-independent digest of the kernel's output: equal
 /// checksums across variants of one (name, n) row double-check that the
-/// timed paths computed the same thing.
+/// timed paths computed the same thing. Version 2 adds the two memory
+/// columns: `allocs_per_rep` is the mean heap-allocation count of one timed
+/// repetition (global operator-new hook, see alloc_hooks.cpp; steady-state
+/// kernels should pin it near 0), and `peak_rss_bytes` the process
+/// high-water RSS sampled after the kernel's reps (0 where unsupported).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -42,6 +48,8 @@ struct KernelTiming {
   double wall_ns_mean = 0.0;
   double wall_ns_min = 0.0;
   double checksum = 0.0;
+  std::uint64_t allocs_per_rep = 0;  ///< mean heap allocations per timed rep
+  std::uint64_t peak_rss_bytes = 0;  ///< process peak RSS after the reps
 };
 
 struct HarnessOptions {
@@ -85,5 +93,14 @@ class Harness {
 /// Writes a table as CSV into $KHOP_CSV_DIR/<name>.csv when that environment
 /// variable is set (plot-ready artifacts next to the printed tables).
 void maybe_write_csv(const std::string& name, const TextTable& t);
+
+/// Total heap allocations (operator new calls) in this process so far.
+/// Counted by the replacement global operator new in alloc_hooks.cpp, which
+/// links into every bench binary via the harness library.
+std::uint64_t alloc_count() noexcept;
+
+/// Process peak resident set size in bytes (getrusage ru_maxrss); 0 on
+/// platforms without it.
+std::uint64_t peak_rss_bytes() noexcept;
 
 }  // namespace khop::bench

@@ -6,6 +6,7 @@
 #include "khop/common/assert.hpp"
 #include "khop/common/error.hpp"
 #include "khop/graph/components.hpp"
+#include "khop/obs/trace.hpp"
 #include "khop/runtime/workspace.hpp"
 
 namespace khop {
@@ -63,6 +64,8 @@ Clustering khop_clustering(const Graph& g, Hops k,
   if (!is_connected(g)) {
     throw NotConnected("khop_clustering: input graph must be connected");
   }
+
+  obs::Span span("cluster/elect");
 
   const std::size_t n = g.num_nodes();
   Clustering result;
@@ -163,6 +166,8 @@ Clustering khop_clustering(const Graph& g, Hops k,
     result.cluster_of[v] =
         static_cast<std::uint32_t>(std::distance(result.heads.begin(), it));
   }
+  span.arg("rounds", static_cast<std::int64_t>(result.election_rounds));
+  span.arg("heads", static_cast<std::int64_t>(result.heads.size()));
   return result;
 }
 

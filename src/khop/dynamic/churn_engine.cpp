@@ -7,8 +7,47 @@
 #include "khop/gateway/lmst.hpp"
 #include "khop/gateway/mesh.hpp"
 #include "khop/nbr/neighbor_rules.hpp"
+#include "khop/obs/metrics.hpp"
+#include "khop/obs/trace.hpp"
 
 namespace khop {
+
+void ChurnStats::note_event(ChurnEventType type) noexcept {
+  ++events;
+  switch (type) {
+    case ChurnEventType::kFail: ++fails; break;
+    case ChurnEventType::kJoin: ++joins; break;
+    case ChurnEventType::kLinkDown: ++link_downs; break;
+    case ChurnEventType::kLinkUp: ++link_ups; break;
+  }
+}
+
+void ChurnStats::note_report(const ChurnEventReport& report) noexcept {
+  orphans += report.orphans;
+  reaffiliations += report.reaffiliated;
+  new_heads += report.new_heads;
+  heads_resweeped += report.heads_resweeped;
+  touched_nodes += report.touched_nodes;
+}
+
+void ChurnStats::publish() const {
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("churn.events").add(events);
+  reg.counter("churn.fails").add(fails);
+  reg.counter("churn.joins").add(joins);
+  reg.counter("churn.link_downs").add(link_downs);
+  reg.counter("churn.link_ups").add(link_ups);
+  reg.counter("churn.noop_events").add(noop_events);
+  reg.counter("churn.full_rebuilds").add(full_rebuilds);
+  reg.counter("churn.orphans").add(orphans);
+  reg.counter("churn.reaffiliations").add(reaffiliations);
+  reg.counter("churn.new_heads").add(new_heads);
+  reg.counter("churn.heads_resweeped").add(heads_resweeped);
+  reg.counter("churn.touched_nodes").add(touched_nodes);
+  reg.counter("churn.partitions").add(partitions);
+  reg.counter("churn.merges").add(merges);
+  reg.counter("churn.audits").add(audits);
+}
 
 ChurnEngine::ChurnEngine(const Graph& g0, Hops k, Pipeline pipeline,
                          ChurnEngineOptions opts)
@@ -116,7 +155,9 @@ void ChurnEngine::drop_dead_head(NodeId h) {
 
 ChurnEventReport ChurnEngine::apply(const ChurnEvent& e) {
   ChurnEventReport report;
-  ++stats_.events;
+  stats_.note_event(e.type);
+  obs::Span span("churn/event");
+  span.arg("type", static_cast<std::int64_t>(e.type));
   affected_k_.clear();
   affected_H_.clear();
   touched_.begin(g_.capacity());
@@ -124,36 +165,28 @@ ChurnEventReport ChurnEngine::apply(const ChurnEvent& e) {
   // Validation + structural no-op detection (before any state changes).
   switch (e.type) {
     case ChurnEventType::kFail:
-      ++stats_.fails;
       KHOP_REQUIRE(g_.alive(e.a), "failure event names a dead node");
       break;
     case ChurnEventType::kJoin:
-      ++stats_.joins;
       KHOP_REQUIRE(!g_.alive(e.a), "join event names an alive node");
       for (NodeId w : e.neighbors) {
         KHOP_REQUIRE(g_.alive(w), "join neighbor must be alive");
       }
       break;
     case ChurnEventType::kLinkDown:
-      ++stats_.link_downs;
       KHOP_REQUIRE(g_.alive(e.a) && g_.alive(e.b),
                    "link event endpoints must be alive");
-      if (!g_.has_edge(e.a, e.b)) {
-        ++stats_.noop_events;
-        report.structural_noop = true;
-        return report;
-      }
+      report.structural_noop = !g_.has_edge(e.a, e.b);
       break;
     case ChurnEventType::kLinkUp:
-      ++stats_.link_ups;
       KHOP_REQUIRE(g_.alive(e.a) && g_.alive(e.b),
                    "link event endpoints must be alive");
-      if (g_.has_edge(e.a, e.b)) {
-        ++stats_.noop_events;
-        report.structural_noop = true;
-        return report;
-      }
+      report.structural_noop = g_.has_edge(e.a, e.b);
       break;
+  }
+  if (report.structural_noop) {
+    ++stats_.noop_events;
+    return report;
   }
 
   std::vector<NodeId> orphans;
@@ -256,11 +289,21 @@ ChurnEventReport ChurnEngine::apply(const ChurnEvent& e) {
   resweep_heads(report);
   combine();
 
-  stats_.orphans += report.orphans;
-  stats_.reaffiliations += report.reaffiliated;
-  stats_.new_heads += report.new_heads;
-  stats_.heads_resweeped += report.heads_resweeped;
-  stats_.touched_nodes += report.touched_nodes;
+  stats_.note_report(report);
+  span.arg("orphans", static_cast<std::int64_t>(report.orphans));
+  span.arg("heads_resweeped",
+           static_cast<std::int64_t>(report.heads_resweeped));
+  span.arg("touched", static_cast<std::int64_t>(report.touched_nodes));
+  if (obs::enabled()) {
+    // Per-event repair distributions; touched / n is the event's repair
+    // locality (the locality denominator is exported as churn.alive_nodes).
+    obs::Registry& reg = obs::Registry::global();
+    reg.histogram("churn.repair_touched").record(report.touched_nodes);
+    reg.histogram("churn.resweep_heads").record(report.heads_resweeped);
+    reg.histogram("churn.event_orphans").record(report.orphans);
+    reg.gauge("churn.alive_nodes")
+        .set(static_cast<std::int64_t>(g_.num_alive()));
+  }
   return report;
 }
 
@@ -484,6 +527,7 @@ std::size_t ChurnEngine::run(const ChurnTrace& trace) {
 
 std::string ChurnEngine::audit() {
   ++stats_.audits;
+  obs::Span span("churn/audit");
   if (std::string s = g_.check_consistency(); !s.empty()) return s;
   const std::size_t cap = g_.capacity();
 

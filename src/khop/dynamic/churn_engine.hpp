@@ -60,6 +60,20 @@ struct ChurnEngineOptions {
   Hops probe_horizon = 4;
 };
 
+/// Per-event repair summary.
+struct ChurnEventReport {
+  bool structural_noop = false;  ///< link already in the requested state
+  std::size_t orphans = 0;
+  std::size_t reaffiliated = 0;
+  std::size_t new_heads = 0;
+  std::size_t heads_resweeped = 0;
+  /// Distinct nodes whose maintained state was recomputed this event
+  /// (members distance-rechecked, orphans re-affiliated, heads re-swept).
+  /// touched / n is the event's repair locality.
+  std::size_t touched_nodes = 0;
+  int component_delta = 0;
+};
+
 /// Cumulative engine counters. full_rebuilds stays 0 by construction: no
 /// event path recomputes the clustering or backbone from scratch.
 struct ChurnStats {
@@ -79,20 +93,21 @@ struct ChurnStats {
   std::size_t partitions = 0;     ///< component-count increases observed
   std::size_t merges = 0;         ///< component-count decreases via join/link
   std::size_t audits = 0;
-};
 
-/// Per-event repair summary.
-struct ChurnEventReport {
-  bool structural_noop = false;  ///< link already in the requested state
-  std::size_t orphans = 0;
-  std::size_t reaffiliated = 0;
-  std::size_t new_heads = 0;
-  std::size_t heads_resweeped = 0;
-  /// Distinct nodes whose maintained state was recomputed this event
-  /// (members distance-rechecked, orphans re-affiliated, heads re-swept).
-  /// touched / n is the event's repair locality.
-  std::size_t touched_nodes = 0;
-  int component_delta = 0;
+  /// Counts one incoming event of \p type (the single accounting point for
+  /// the per-type counters; called before any state mutation).
+  void note_event(ChurnEventType type) noexcept;
+
+  /// Folds one event's repair summary into the cumulative counters.
+  void note_report(const ChurnEventReport& report) noexcept;
+
+  /// Adds these cumulative totals to the global obs::Registry under the
+  /// `churn.*` metric names (see docs/observability.md). The struct stays
+  /// the per-engine view; the registry is the queryable cross-engine store.
+  /// Totals-add semantics: call once per engine, at export time. (Per-event
+  /// distributions — repair locality, resweep breadth — are recorded live
+  /// by apply() as `churn.*` histograms when telemetry is enabled.)
+  void publish() const;
 };
 
 class ChurnEngine {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "khop/common/assert.hpp"
+#include "khop/obs/trace.hpp"
 
 namespace khop {
 
@@ -14,6 +15,8 @@ TrialSummary run_trials(ThreadPool& pool, const TrialPolicy& policy,
                "max_trials < min_trials");
   KHOP_REQUIRE(policy.batch > 0, "batch must be positive");
 
+  obs::Span exp_span("exp/run_trials");
+
   TrialSummary summary;
   summary.metrics.assign(metric_count, RunningStats{});
 
@@ -23,11 +26,17 @@ TrialSummary run_trials(ThreadPool& pool, const TrialPolicy& policy,
         std::min(policy.max_trials, next_trial + policy.batch);
     const std::size_t batch_size = batch_end - next_trial;
 
+    obs::Span batch_span("exp/batch");
+    batch_span.arg("first_trial", static_cast<std::int64_t>(next_trial));
+    batch_span.arg("size", static_cast<std::int64_t>(batch_size));
+
     // Results land in per-trial slots; aggregation below is in index order,
     // so the summary is bit-identical for any thread count.
     std::vector<std::vector<double>> results(batch_size);
     parallel_for(pool, batch_size, [&](std::size_t i) {
       const std::size_t trial = next_trial + i;
+      obs::Span trial_span("exp/trial");
+      trial_span.arg("trial", static_cast<std::int64_t>(trial));
       Rng rng = master.spawn(trial);
       // The worker's workspace persists across its trials (and across
       // batches): scratch buffers stay warm for the whole experiment.
@@ -56,6 +65,8 @@ TrialSummary run_trials(ThreadPool& pool, const TrialPolicy& policy,
       }
     }
   }
+  exp_span.arg("trials", static_cast<std::int64_t>(summary.trials_run));
+  exp_span.arg("converged", summary.converged ? 1 : 0);
   return summary;
 }
 

@@ -7,6 +7,7 @@
 #include "khop/gateway/head_sweep.hpp"
 #include "khop/gateway/lmst.hpp"
 #include "khop/gateway/mesh.hpp"
+#include "khop/obs/trace.hpp"
 #include "khop/runtime/thread_pool.hpp"
 #include "khop/runtime/workspace.hpp"
 
@@ -82,15 +83,20 @@ namespace {
 Backbone build_backbone_impl(const Graph& g, const Clustering& c,
                              const BackboneSpec& spec, Workspace* ws,
                              ThreadPool* pool) {
+  obs::Span span("backbone/build");
+  span.arg("heads", static_cast<std::int64_t>(c.heads.size()));
+
   Backbone b;
   b.spec = spec;
   b.heads = c.heads;
 
   if (spec.gateway == GatewayAlgorithm::kGmst) {
+    obs::Span gw_span("backbone/gmst");
     GmstResult r =
         pool != nullptr ? gmst_gateways(g, c, *pool) : gmst_gateways(g, c, *ws);
     b.gateways = std::move(r.gateways);
     b.virtual_links = std::move(r.kept_links);
+    span.arg("gateways", static_cast<std::int64_t>(b.gateways.size()));
     return b;
   }
 
@@ -99,17 +105,22 @@ Backbone build_backbone_impl(const Graph& g, const Clustering& c,
   if (spec.neighbor_rule == NeighborRule::kAllWithin2k1) {
     // NC: one fused sweep per head discovers neighbor heads AND extracts
     // their virtual links (no separate per-source BFS pass at all).
+    obs::Span sweep_span("backbone/head_sweep");
     HeadSweep sweep =
         pool != nullptr ? nc_sweep(g, c, *pool) : nc_sweep(g, c, *ws);
     sel = std::move(sweep.sel);
     links = std::move(sweep.links);
+    sweep_span.arg("head_pairs", static_cast<std::int64_t>(sel.head_pairs.size()));
   } else {
     // AC / Wu-Lou selections need no BFS of their own (adjacency scan /
     // horizon-3 sweeps); their pairs all sit within 2k+1 hops, so link
     // extraction runs horizon-bounded.
+    obs::Span sel_span("backbone/select_neighbors");
     sel = select_neighbors(g, c, spec.neighbor_rule,
                            pool != nullptr ? tls_workspace() : *ws);
+    sel_span.arg("head_pairs", static_cast<std::int64_t>(sel.head_pairs.size()));
     const Hops horizon = 2 * c.k + 1;
+    obs::Span links_span("backbone/extract_links");
     links = pool != nullptr
                 ? VirtualLinkMap::build_bounded(g, sel.head_pairs, horizon,
                                                 *pool)
@@ -117,15 +128,21 @@ Backbone build_backbone_impl(const Graph& g, const Clustering& c,
                                                 *ws);
   }
 
-  if (spec.gateway == GatewayAlgorithm::kMesh) {
-    MeshResult r = mesh_gateways(c, sel, links);
-    b.gateways = std::move(r.gateways);
-    b.virtual_links = std::move(r.kept_links);
-  } else {
-    LmstResult r = lmst_gateways(c, sel, links, spec.lmst_keep);
-    b.gateways = std::move(r.gateways);
-    b.virtual_links = std::move(r.kept_links);
+  {
+    obs::Span gw_span(spec.gateway == GatewayAlgorithm::kMesh
+                          ? "backbone/mesh"
+                          : "backbone/lmst");
+    if (spec.gateway == GatewayAlgorithm::kMesh) {
+      MeshResult r = mesh_gateways(c, sel, links);
+      b.gateways = std::move(r.gateways);
+      b.virtual_links = std::move(r.kept_links);
+    } else {
+      LmstResult r = lmst_gateways(c, sel, links, spec.lmst_keep);
+      b.gateways = std::move(r.gateways);
+      b.virtual_links = std::move(r.kept_links);
+    }
   }
+  span.arg("gateways", static_cast<std::int64_t>(b.gateways.size()));
   return b;
 }
 

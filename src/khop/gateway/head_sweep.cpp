@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "khop/common/assert.hpp"
+#include "khop/obs/metrics.hpp"
+#include "khop/obs/telemetry.hpp"
 #include "khop/runtime/thread_pool.hpp"
 #include "khop/runtime/workspace.hpp"
 
@@ -46,6 +48,13 @@ void sweep_one(const Graph& g, const Clustering& c, NodeId u, Hops horizon,
 /// outputs. Heads ascend in id, so link order is source-major ascending —
 /// the same order VirtualLinkMap::build produces.
 HeadSweep merge(const Clustering& c, std::vector<PerHead> slots) {
+  // Per-head neighbor-head counts measure the density of the head overlay
+  // the gateway stage prunes; observational only.
+  if (obs::enabled()) {
+    obs::Histogram& h =
+        obs::Registry::global().histogram("backbone.head_neighbors");
+    for (const PerHead& s : slots) h.record(s.selected.size());
+  }
   HeadSweep r;
   r.sel.rule = NeighborRule::kAllWithin2k1;
   r.sel.selected.resize(c.heads.size());

@@ -1,0 +1,149 @@
+#include "khop/obs/metrics.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "khop/common/error.hpp"
+
+namespace khop::obs {
+
+namespace detail {
+
+std::uint32_t thread_index() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t idx =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return idx;
+}
+
+}  // namespace detail
+
+double Histogram::quantile(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // 1-based target rank; q == 0 still asks for the first sample.
+  const std::uint64_t target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n))));
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const std::uint64_t c = bucket_count(b);
+    if (c == 0) continue;
+    if (cum + c >= target) {
+      const double lo = static_cast<double>(bucket_lo(b));
+      const double hi = static_cast<double>(bucket_hi(b));
+      // Position of the target rank among this bucket's c samples, in
+      // (0, 1]; rank 1-of-1 lands mid-bucket-free at hi for c == 1.
+      const double frac = static_cast<double>(target - cum) /
+                          static_cast<double>(c);
+      return lo + (hi - lo) * frac;
+    }
+    cum += c;
+  }
+  return static_cast<double>(bucket_hi(kBuckets - 1));  // unreachable
+}
+
+Registry& Registry::global() {
+  static Registry r;
+  return r;
+}
+
+template <typename T>
+T& Registry::lookup(std::vector<std::unique_ptr<T>>& list,
+                    std::string_view name) {
+  std::scoped_lock lock(mu_);
+  for (const std::unique_ptr<T>& item : list) {
+    if (item->name() == name) return *item;
+  }
+  list.push_back(std::make_unique<T>(std::string(name)));
+  return *list.back();
+}
+
+Counter& Registry::counter(std::string_view name) {
+  return lookup(counters_, name);
+}
+
+Gauge& Registry::gauge(std::string_view name) { return lookup(gauges_, name); }
+
+Histogram& Registry::histogram(std::string_view name) {
+  return lookup(histograms_, name);
+}
+
+void Registry::reset() {
+  std::scoped_lock lock(mu_);
+  for (auto& c : counters_) c->reset();
+  for (auto& g : gauges_) g->reset();
+  for (auto& h : histograms_) h->reset();
+}
+
+namespace {
+
+/// JSON number for a double that is conceptually integral-or-finite; the
+/// quantiles can carry fractions, so print with enough digits to round-trip.
+std::string num(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string Registry::to_json() const {
+  std::scoped_lock lock(mu_);
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"khop.metrics\",\n";
+  os << "  \"schema_version\": 1,\n";
+  os << "  \"counters\": [\n";
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    os << "    {\"name\": \"" << counters_[i]->name()
+       << "\", \"value\": " << counters_[i]->value() << "}"
+       << (i + 1 < counters_.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"gauges\": [\n";
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    const Gauge& g = *gauges_[i];
+    // A never-set gauge's high-water mark is the int64 minimum sentinel;
+    // clamp to the value so the JSON stays meaningful.
+    const std::int64_t mx = std::max(g.max(), g.value());
+    os << "    {\"name\": \"" << g.name() << "\", \"value\": " << g.value()
+       << ", \"max\": " << mx << "}" << (i + 1 < gauges_.size() ? "," : "")
+       << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"histograms\": [\n";
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    const Histogram& h = *histograms_[i];
+    os << "    {\"name\": \"" << h.name() << "\", \"count\": " << h.count()
+       << ", \"sum\": " << h.sum() << ", \"p50\": " << num(h.quantile(0.50))
+       << ", \"p90\": " << num(h.quantile(0.90))
+       << ", \"p99\": " << num(h.quantile(0.99)) << ", \"buckets\": [";
+    bool first = true;
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      const std::uint64_t c = h.bucket_count(b);
+      if (c == 0) continue;
+      if (!first) os << ", ";
+      first = false;
+      os << "{\"lo\": " << Histogram::bucket_lo(b)
+         << ", \"hi\": " << Histogram::bucket_hi(b) << ", \"count\": " << c
+         << "}";
+    }
+    os << "]}" << (i + 1 < histograms_.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+  return os.str();
+}
+
+void Registry::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open metrics output file: " + path);
+  out << to_json();
+  if (!out) throw Error("failed writing metrics output file: " + path);
+}
+
+}  // namespace khop::obs

@@ -1,0 +1,302 @@
+/// \file metrics.hpp
+/// Telemetry metrics registry: named counters, gauges, and log-bucketed
+/// histograms with per-thread-sharded storage, exported as schema-versioned
+/// JSON (`khop.metrics`, version 1).
+///
+/// Hot-path contract: resolve instruments by name ONCE (registry lookup
+/// takes a mutex) and keep the returned reference — instrument addresses are
+/// stable for the registry's lifetime. The record operations themselves are
+/// lock-free: each writer lands on a cache-line-padded shard selected by a
+/// thread-local index, so concurrent recording never contends on a line.
+/// Reads (value(), quantile(), to_json()) sum over the shards; they are
+/// intended for quiescent points (end of a run / round / event), not for
+/// synchronizing with in-flight writers.
+///
+/// Telemetry invariant: instruments are observational only. Nothing in this
+/// subsystem feeds back into any algorithm, so pipeline outputs are
+/// bit-identical whether metrics are recorded or not (enforced by
+/// tests/test_obs_determinism.cpp).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace khop::obs {
+
+/// Shard count for all instruments. Power of two; writers map to shard
+/// (thread_index & (kMetricShards - 1)).
+inline constexpr std::size_t kMetricShards = 16;
+
+namespace detail {
+
+/// Small sequential per-thread index (0, 1, 2, ... in first-use order),
+/// shared with the tracer's thread ids.
+std::uint32_t thread_index() noexcept;
+
+inline std::size_t shard_index() noexcept {
+  return thread_index() & (kMetricShards - 1);
+}
+
+struct alignas(64) CounterShard {
+  std::atomic<std::uint64_t> v{0};
+};
+
+}  // namespace detail
+
+/// Monotone event count, sharded per thread.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void add(std::uint64_t delta) noexcept {
+    shards_[detail::shard_index()].v.fetch_add(delta,
+                                               std::memory_order_relaxed);
+  }
+  void inc() noexcept { add(1); }
+
+  std::uint64_t value() const noexcept {
+    std::uint64_t sum = 0;
+    for (const detail::CounterShard& s : shards_) {
+      sum += s.v.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+  void reset() noexcept {
+    for (detail::CounterShard& s : shards_) {
+      s.v.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+  detail::CounterShard shards_[kMetricShards];
+};
+
+/// Last-writer-wins level plus the maximum ever set (high-water mark).
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+    std::int64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  std::int64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept {
+    value_.store(0, std::memory_order_relaxed);
+    max_.store(std::numeric_limits<std::int64_t>::min(),
+               std::memory_order_relaxed);
+  }
+
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> max_{std::numeric_limits<std::int64_t>::min()};
+};
+
+/// Log2-bucketed histogram of non-negative samples.
+///
+/// Bucketing: bucket 0 holds exactly the value 0; bucket b >= 1 holds
+/// [2^(b-1), 2^b - 1] (i.e. bucket_of(v) = bit_width(v)). 65 buckets cover
+/// the full uint64 range.
+///
+/// Quantile extraction (p50/p90/p99): for quantile q over count() samples,
+/// the target rank is ceil(q * count) (1-based). The bucket containing that
+/// rank is located by cumulative count, and the returned value interpolates
+/// linearly inside the bucket's [lo, hi] range by the rank's position among
+/// the bucket's samples — a deterministic, unit-testable rule whose error is
+/// bounded by the bucket width (< 2x the true sample value).
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+
+  static std::size_t bucket_of(std::uint64_t v) noexcept {
+    return static_cast<std::size_t>(std::bit_width(v));
+  }
+  /// Smallest value of bucket \p b.
+  static std::uint64_t bucket_lo(std::size_t b) noexcept {
+    return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+  }
+  /// Largest value of bucket \p b.
+  static std::uint64_t bucket_hi(std::size_t b) noexcept {
+    if (b == 0) return 0;
+    if (b == kBuckets - 1) return std::numeric_limits<std::uint64_t>::max();
+    return (std::uint64_t{1} << b) - 1;
+  }
+
+  void record(std::uint64_t v) noexcept {
+    Shard& s = shards_[detail::shard_index()];
+    s.buckets[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  /// Folds a pre-accumulated batch (per-bucket counts + sum) into the
+  /// calling thread's shard in one pass. See LocalHistogram.
+  void add_batch(const std::uint64_t (&counts)[kBuckets],
+                 std::uint64_t sum) noexcept {
+    Shard& s = shards_[detail::shard_index()];
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      if (counts[b] != 0) {
+        s.buckets[b].fetch_add(counts[b], std::memory_order_relaxed);
+      }
+    }
+    s.sum.fetch_add(sum, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const noexcept {
+    std::uint64_t c = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) c += bucket_count(b);
+    return c;
+  }
+  std::uint64_t sum() const noexcept {
+    std::uint64_t s = 0;
+    for (const Shard& sh : shards_) {
+      s += sh.sum.load(std::memory_order_relaxed);
+    }
+    return s;
+  }
+  std::uint64_t bucket_count(std::size_t b) const noexcept {
+    std::uint64_t c = 0;
+    for (const Shard& sh : shards_) {
+      c += sh.buckets[b].load(std::memory_order_relaxed);
+    }
+    return c;
+  }
+
+  /// Interpolated quantile per the class-level rule. q in [0, 1]; returns 0
+  /// on an empty histogram.
+  double quantile(double q) const noexcept;
+
+  void reset() noexcept {
+    for (Shard& sh : shards_) {
+      for (auto& b : sh.buckets) b.store(0, std::memory_order_relaxed);
+      sh.sum.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> buckets[kBuckets]{};
+    std::atomic<std::uint64_t> sum{0};
+  };
+  std::string name_;
+  Shard shards_[kMetricShards];
+};
+
+/// Unsynchronized batch accumulator for loops that record thousands of
+/// histogram samples: record() is two plain memory writes (no TLS lookup, no
+/// atomics), and the whole batch folds into a Histogram shard with one
+/// flush() at the end. Not thread-safe — give each worker its own instance
+/// and merge() them at the serial join point.
+class LocalHistogram {
+ public:
+  void record(std::uint64_t v) noexcept {
+    ++counts_[Histogram::bucket_of(v)];
+    sum_ += v;
+    ++total_;
+  }
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// Folds this batch into \p h (one shard pass) and clears the batch.
+  void flush(Histogram& h) noexcept {
+    if (total_ == 0) return;
+    h.add_batch(counts_, sum_);
+    clear();
+  }
+
+  /// Adds \p other's batch into this one and clears \p other.
+  void merge(LocalHistogram& other) noexcept {
+    if (other.total_ == 0) return;
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      counts_[b] += other.counts_[b];
+    }
+    sum_ += other.sum_;
+    total_ += other.total_;
+    other.clear();
+  }
+
+  void clear() noexcept {
+    for (auto& c : counts_) c = 0;
+    sum_ = 0;
+    total_ = 0;
+  }
+
+ private:
+  std::uint64_t counts_[Histogram::kBuckets]{};
+  std::uint64_t sum_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Name -> instrument registry. Instruments are created on first lookup and
+/// live (at a stable address) until the registry is destroyed; reset() zeros
+/// their values but keeps the registrations. One process-wide instance
+/// (global()) backs the library's built-in instrumentation.
+class Registry {
+ public:
+  static Registry& global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Lookup-or-create. Takes a mutex: resolve once, keep the reference.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Zeros every instrument's value; registrations (and addresses) persist.
+  void reset();
+
+  /// Schema `khop.metrics` version 1:
+  /// {
+  ///   "schema": "khop.metrics", "schema_version": 1,
+  ///   "counters":   [{"name": ..., "value": ...}],
+  ///   "gauges":     [{"name": ..., "value": ..., "max": ...}],
+  ///   "histograms": [{"name": ..., "count": ..., "sum": ...,
+  ///                   "p50": ..., "p90": ..., "p99": ...,
+  ///                   "buckets": [{"lo": ..., "hi": ..., "count": ...}]}]
+  /// }
+  /// Rows appear in registration order; only non-empty histogram buckets are
+  /// emitted. Gauges that were never set emit max == value.
+  std::string to_json() const;
+
+  /// Writes to_json() to \p path. Throws khop::Error on failure.
+  void write_json(const std::string& path) const;
+
+ private:
+  template <typename T>
+  T& lookup(std::vector<std::unique_ptr<T>>& list, std::string_view name);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Counter>> counters_;
+  std::vector<std::unique_ptr<Gauge>> gauges_;
+  std::vector<std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace khop::obs

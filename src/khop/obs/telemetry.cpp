@@ -1,0 +1,25 @@
+#include "khop/obs/telemetry.hpp"
+
+#include "khop/obs/metrics.hpp"
+#include "khop/obs/trace.hpp"
+
+namespace khop::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}
+
+void set_enabled(bool on) noexcept {
+#if KHOP_TELEMETRY
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+#else
+  (void)on;
+#endif
+}
+
+void reset_all() {
+  Registry::global().reset();
+  Tracer::global().clear();
+}
+
+}  // namespace khop::obs

@@ -1,0 +1,67 @@
+/// \file telemetry.hpp
+/// Telemetry master switch: a compile-time gate (KHOP_TELEMETRY, default 1,
+/// settable via the KHOP_TELEMETRY CMake option) and a runtime sink toggle.
+///
+/// Layering: this header is the dependency-free core (the switch); the two
+/// sinks live beside it — obs/metrics.hpp (counters / gauges / histograms +
+/// registry) and obs/trace.hpp (phase spans + Perfetto export).
+///
+/// Cost contract:
+///  * KHOP_TELEMETRY == 0: enabled() is constant false, Span is an empty
+///    class — instrumented call sites compile to nothing.
+///  * KHOP_TELEMETRY == 1, runtime-disabled (the default): every
+///    instrumented site costs exactly one relaxed atomic load + branch.
+///  * Enabled: spans append to per-thread buffers, metric records are one
+///    relaxed atomic RMW on a thread-sharded cache line.
+///
+/// Correctness contract: telemetry is observational only. Enabling or
+/// disabling it (at either level) never changes any pipeline, engine, or
+/// repair output — the determinism suite asserts bit-identical checksums
+/// with telemetry off and on, across thread counts.
+#pragma once
+
+#include <atomic>
+
+#ifndef KHOP_TELEMETRY
+#define KHOP_TELEMETRY 1
+#endif
+
+namespace khop::obs {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}
+
+/// True iff telemetry is compiled in AND runtime-enabled. The single branch
+/// every instrumented hot-path site pays when disabled.
+inline bool enabled() noexcept {
+#if KHOP_TELEMETRY
+  return detail::g_enabled.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+/// Flips the runtime sink toggle. A no-op (telemetry stays off) when
+/// KHOP_TELEMETRY is compiled out.
+void set_enabled(bool on) noexcept;
+
+/// Zeros the global metrics registry and drops all recorded spans. Call at
+/// quiescent points only (see trace.hpp).
+void reset_all();
+
+/// Scoped runtime enable: restores the previous state on destruction.
+class ScopedEnable {
+ public:
+  explicit ScopedEnable(bool on = true) noexcept : prev_(enabled()) {
+    set_enabled(on);
+  }
+  ~ScopedEnable() noexcept { set_enabled(prev_); }
+  ScopedEnable(const ScopedEnable&) = delete;
+  ScopedEnable& operator=(const ScopedEnable&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace khop::obs

@@ -1,0 +1,142 @@
+#include "khop/obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+#include "khop/common/error.hpp"
+#include "khop/obs/metrics.hpp"
+
+namespace khop::obs {
+
+Tracer& Tracer::global() {
+  static Tracer t;
+  return t;
+}
+
+std::uint64_t Tracer::now_ns() noexcept {
+  static const std::chrono::steady_clock::time_point t0 =
+      std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+detail::ThreadTraceBuffer& Tracer::local() {
+  thread_local detail::ThreadTraceBuffer* buf = nullptr;
+  if (buf == nullptr) {
+    auto owned = std::make_unique<detail::ThreadTraceBuffer>();
+    owned->tid = detail::thread_index();  // shared with the metric shards
+    buf = owned.get();
+    std::scoped_lock lock(mu_);
+    buffers_.push_back(std::move(owned));
+  }
+  return *buf;
+}
+
+std::size_t Tracer::num_events() const {
+  std::scoped_lock lock(mu_);
+  std::size_t n = 0;
+  for (const auto& b : buffers_) n += b->events.size();
+  return n;
+}
+
+void Tracer::clear() {
+  std::scoped_lock lock(mu_);
+  for (const auto& b : buffers_) b->events.clear();
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::scoped_lock lock(mu_);
+  std::vector<const detail::ThreadTraceBuffer*> ordered;
+  ordered.reserve(buffers_.size());
+  for (const auto& b : buffers_) ordered.push_back(b.get());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const detail::ThreadTraceBuffer* a,
+               const detail::ThreadTraceBuffer* b) { return a->tid < b->tid; });
+  std::vector<TraceEvent> out;
+  for (const detail::ThreadTraceBuffer* b : ordered) {
+    out.insert(out.end(), b->events.begin(), b->events.end());
+  }
+  return out;
+}
+
+namespace {
+
+/// Microseconds with ns resolution, the unit Chrome trace "ts"/"dur" use.
+std::string us(std::uint64_t ns) {
+  std::ostringstream os;
+  os << ns / 1000 << '.' << static_cast<char>('0' + (ns % 1000) / 100)
+     << static_cast<char>('0' + (ns % 100) / 10)
+     << static_cast<char>('0' + ns % 10);
+  return os.str();
+}
+
+}  // namespace
+
+std::string Tracer::to_chrome_json() const {
+  const std::vector<TraceEvent> events = snapshot();
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"otherData\": {\"schema\": \"khop.trace\", \"schema_version\": 1},\n";
+  os << "  \"displayTimeUnit\": \"ms\",\n";
+  os << "  \"traceEvents\": [\n";
+  // Thread-name metadata rows first, one per thread that recorded anything.
+  std::vector<std::uint32_t> tids;
+  for (const TraceEvent& e : events) tids.push_back(e.tid);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  bool first = true;
+  for (std::uint32_t tid : tids) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "    {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+       << "\"tid\": " << tid << ", \"args\": {\"name\": \"khop-thread-" << tid
+       << "\"}}";
+  }
+  for (const TraceEvent& e : events) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "    {\"name\": \"" << e.name << "\", \"cat\": \"khop\", "
+       << "\"ph\": \"X\", \"pid\": 1, \"tid\": " << e.tid
+       << ", \"ts\": " << us(e.t0_ns) << ", \"dur\": "
+       << us(e.t1_ns >= e.t0_ns ? e.t1_ns - e.t0_ns : 0)
+       << ", \"args\": {\"depth\": " << e.depth;
+    for (std::uint8_t a = 0; a < e.nargs; ++a) {
+      os << ", \"" << e.args[a].key << "\": " << e.args[a].value;
+    }
+    os << "}}";
+  }
+  os << "\n  ]\n";
+  os << "}\n";
+  return os.str();
+}
+
+void Tracer::write_chrome_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open trace output file: " + path);
+  out << to_chrome_json();
+  if (!out) throw Error("failed writing trace output file: " + path);
+}
+
+#if KHOP_TELEMETRY
+
+void Span::open(const char* name) noexcept {
+  buf_ = &Tracer::global().local();
+  ev_.name = name;
+  ev_.tid = buf_->tid;
+  ev_.depth = buf_->depth++;
+  ev_.t0_ns = Tracer::now_ns();
+}
+
+void Span::close() noexcept {
+  ev_.t1_ns = Tracer::now_ns();
+  --buf_->depth;
+  buf_->events.push_back(ev_);
+}
+
+#endif  // KHOP_TELEMETRY
+
+}  // namespace khop::obs

@@ -1,0 +1,141 @@
+/// \file trace.hpp
+/// Phase-scoped tracing: RAII spans written to lock-free per-thread buffers
+/// and exported in Chrome trace-event format, so a full run opens directly
+/// in Perfetto (ui.perfetto.dev) or chrome://tracing.
+///
+/// A Span records one complete event ("ph": "X"): begin/end timestamps
+/// (steady-clock ns since process start), the recording thread's small
+/// sequential id, its nesting depth on that thread, and up to kMaxSpanArgs
+/// named integer args (counter deltas, sizes, ids). Recording appends to the
+/// calling thread's private buffer — no locks, no allocation in steady state
+/// (the buffer grows geometrically and is reused across clear()).
+///
+/// Cost model: constructing a Span when telemetry is disabled is ONE relaxed
+/// atomic load and branch (see telemetry.hpp); args become no-ops. When
+/// KHOP_TELEMETRY is compiled out the Span body is empty and the optimizer
+/// erases the call sites entirely.
+///
+/// Export contract: to_chrome_json()/clear() walk every thread's buffer and
+/// must only run at quiescent points — after ThreadPool::wait_idle() (the
+/// pools' mutexes order the workers' appends before the caller's read) or
+/// after worker threads joined. Span names and arg keys must be string
+/// literals (or otherwise outlive the tracer): buffers store the pointers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "khop/obs/telemetry.hpp"
+
+namespace khop::obs {
+
+inline constexpr std::size_t kMaxSpanArgs = 4;
+
+struct TraceArg {
+  const char* key = nullptr;
+  std::int64_t value = 0;
+};
+
+/// One completed span, as stored in a thread buffer.
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t t0_ns = 0;
+  std::uint64_t t1_ns = 0;
+  std::uint32_t tid = 0;    ///< small sequential thread index
+  std::uint16_t depth = 0;  ///< nesting depth on that thread (0 = top)
+  std::uint8_t nargs = 0;
+  TraceArg args[kMaxSpanArgs];
+};
+
+namespace detail {
+
+struct ThreadTraceBuffer {
+  std::uint32_t tid = 0;
+  std::uint16_t depth = 0;
+  std::vector<TraceEvent> events;
+};
+
+}  // namespace detail
+
+/// Process-wide collector of per-thread span buffers.
+class Tracer {
+ public:
+  static Tracer& global();
+
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Steady-clock ns since process (strictly: tracer) start.
+  static std::uint64_t now_ns() noexcept;
+
+  /// Total recorded spans across all threads. Quiescent points only.
+  std::size_t num_events() const;
+
+  /// Drops every recorded span; buffer capacity and thread registrations
+  /// are kept. Quiescent points only.
+  void clear();
+
+  /// All recorded spans, every thread's buffer concatenated in thread-id
+  /// order (each buffer is internally in completion order). Quiescent
+  /// points only.
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Chrome trace-event JSON: {"traceEvents": [...], "displayTimeUnit":
+  /// "ms", "otherData": {"schema": "khop.trace", "schema_version": 1}}.
+  /// Every span is a complete event ("ph": "X", ts/dur in microseconds)
+  /// with its nesting depth folded into args; per-thread metadata events
+  /// ("ph": "M", thread_name) label the timeline rows.
+  std::string to_chrome_json() const;
+
+  /// Writes to_chrome_json() to \p path. Throws khop::Error on failure.
+  void write_chrome_json(const std::string& path) const;
+
+  /// The calling thread's buffer (registered on first use).
+  detail::ThreadTraceBuffer& local();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<detail::ThreadTraceBuffer>> buffers_;
+};
+
+/// RAII phase span. Construct to open, destroy to record. Move-free by
+/// design: a span belongs to the scope (and thread) that opened it.
+class Span {
+ public:
+#if KHOP_TELEMETRY
+  explicit Span(const char* name) noexcept {
+    if (enabled()) open(name);
+  }
+  ~Span() noexcept {
+    if (buf_ != nullptr) close();
+  }
+  /// Attaches a named integer (counter delta, size, id). At most
+  /// kMaxSpanArgs are kept; extras are dropped silently.
+  void arg(const char* key, std::int64_t value) noexcept {
+    if (buf_ != nullptr && ev_.nargs < kMaxSpanArgs) {
+      ev_.args[ev_.nargs++] = TraceArg{key, value};
+    }
+  }
+#else
+  explicit Span(const char*) noexcept {}
+  void arg(const char*, std::int64_t) noexcept {}
+#endif
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+#if KHOP_TELEMETRY
+  void open(const char* name) noexcept;
+  void close() noexcept;
+
+  detail::ThreadTraceBuffer* buf_ = nullptr;
+  TraceEvent ev_;
+#endif
+};
+
+}  // namespace khop::obs

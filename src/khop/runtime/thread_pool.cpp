@@ -4,6 +4,7 @@
 #include <exception>
 
 #include "khop/common/assert.hpp"
+#include "khop/obs/trace.hpp"
 
 namespace khop {
 
@@ -52,7 +53,12 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    {
+      // One span per dequeued task on the worker's own trace row; the
+      // submit/merge work stays attributed to the caller's row.
+      obs::Span task_span("pool/task");
+      task();
+    }
     {
       std::scoped_lock lock(mu_);
       --in_flight_;

@@ -5,6 +5,8 @@
 #include <tuple>
 
 #include "khop/common/assert.hpp"
+#include "khop/obs/metrics.hpp"
+#include "khop/obs/trace.hpp"
 #include "khop/runtime/thread_pool.hpp"
 
 namespace khop {
@@ -53,8 +55,7 @@ void NodeContext::broadcast(std::uint16_t type,
     engine_->record_broadcast(id_, type, data);
     return;
   }
-  ++engine_->stats_.transmissions;
-  engine_->stats_.payload_words += data.size();
+  engine_->stats_.note_transmission(data.size());
   // One materialization per broadcast: every neighbor's delivery aliases the
   // same interned words (the old path deep-copied the vector per neighbor).
   const PayloadView payload = engine_->arenas_[engine_->write_].intern(data);
@@ -76,8 +77,7 @@ void NodeContext::send(NodeId to, std::uint16_t type,
     engine_->record_send(id_, to, type, data);
     return;
   }
-  ++engine_->stats_.transmissions;
-  engine_->stats_.payload_words += data.size();
+  engine_->stats_.note_transmission(data.size());
   const PayloadView payload = engine_->arenas_[engine_->write_].intern(data);
   engine_->enqueue(id_, to, type, payload);
 }
@@ -112,8 +112,7 @@ void SyncEngine::enqueue(NodeId from, NodeId to, std::uint16_t type,
 
 void SyncEngine::record_broadcast(NodeId from, std::uint16_t type,
                                   std::span<const std::int64_t> data) {
-  ++stats_.transmissions;
-  stats_.payload_words += data.size();
+  stats_.note_transmission(data.size());
   // A broadcast with no receivers is a radio transmission (counted above)
   // but schedules nothing: recording it would keep the write side non-empty
   // and cost an extra round the reference engine never runs.
@@ -127,8 +126,7 @@ void SyncEngine::record_broadcast(NodeId from, std::uint16_t type,
 
 void SyncEngine::record_send(NodeId from, NodeId to, std::uint16_t type,
                              std::span<const std::int64_t> data) {
-  ++stats_.transmissions;
-  stats_.payload_words += data.size();
+  stats_.note_transmission(data.size());
   const PayloadView payload = arenas_[write_].intern(data);
   std::vector<detail::SendRec>& list = sends_[write_][to];
   if (list.empty()) send_dests_[write_].push_back(to);
@@ -144,8 +142,7 @@ void SyncEngine::replay(const detail::RawSend& send) {
     }
     return;
   }
-  ++stats_.transmissions;
-  stats_.payload_words += send.data.size();
+  stats_.note_transmission(send.data.size());
   const PayloadView payload = arenas_[write_].intern(send.data);
   if (send.to == kInvalidNode) {
     for (NodeId v : graph_->neighbors(send.from)) {
@@ -195,8 +192,12 @@ void SyncEngine::reset_for_run() {
   arenas_[1].clear();
   // Outboxes are normally drained by flush_outboxes, but an exception that
   // escaped a parallel phase leaves completed chunks' recordings behind;
-  // they must not replay into this run.
-  for (detail::EngineOutbox& out : outboxes_) out.reset();
+  // they must not replay into this run. Likewise any unmerged telemetry
+  // samples from an abandoned run must not leak into this one.
+  for (detail::EngineOutbox& out : outboxes_) {
+    out.reset();
+    out.inbox_sizes.clear();
+  }
   for (unsigned side = 0; side < 2; ++side) {
     if (rec_count_[side].size() < graph_->num_nodes()) {
       rec_count_[side].resize(graph_->num_nodes(), 0);
@@ -376,6 +377,25 @@ bool SyncEngine::run(std::size_t max_rounds, ThreadPool& pool) {
 bool SyncEngine::run_impl(std::size_t max_rounds, ThreadPool* pool) {
   reset_for_run();
 
+  // Observational only: the span, the cached histogram pointer, and every
+  // record below never feed back into delivery order or agent state, so the
+  // run is bit-identical with telemetry on or off.
+  obs::Span run_span("engine/run");
+  const bool tel = obs::enabled();
+  obs::Histogram* inbox_hist =
+      tel ? &obs::Registry::global().histogram("engine.inbox_size") : nullptr;
+  // Inbox sizes batch into plain-memory accumulators (serial: this one;
+  // parallel: one per chunk outbox, merged below) and fold into the sharded
+  // histogram once at end of run — the delivery loops never pay TLS or
+  // atomic traffic per destination.
+  obs::LocalHistogram inbox_local;
+  const auto merge_outbox_samples = [&] {
+    if (inbox_hist == nullptr) return;
+    for (detail::EngineOutbox& out : outboxes_) {
+      inbox_local.merge(out.inbox_sizes);
+    }
+  };
+
   const std::size_t n = graph_->num_nodes();
   // Parallel phase runner: work items [0, items) chunked across the pool,
   // each chunk recording into its own outbox, merged in ascending chunk
@@ -412,17 +432,24 @@ bool SyncEngine::run_impl(std::size_t max_rounds, ThreadPool* pool) {
   all_nodes_phase(
       [&](NodeId v, NodeContext& ctx) { agents_[v]->on_start(ctx); });
 
+  bool quiesced = false;
   while (round_ < max_rounds) {
     // Quiescence check at the round boundary.
     if (write_side_empty()) {
       const bool all_done = std::all_of(
           agents_.begin(), agents_.end(),
           [](const std::unique_ptr<NodeAgent>& a) { return a->finished(); });
-      if (all_done) return true;
+      if (all_done) {
+        quiesced = true;
+        break;
+      }
     }
 
     ++round_;
     ++stats_.rounds;
+    obs::Span round_span("engine/round");
+    const std::size_t round_rx0 = stats_.receptions;
+    const std::size_t round_tx0 = stats_.transmissions;
 
     // Flip buffers: this round's deliveries become the read side; handlers
     // enqueue into the other side, whose previous contents (delivered two
@@ -440,15 +467,24 @@ bool SyncEngine::run_impl(std::size_t max_rounds, ThreadPool* pool) {
       if (pool == nullptr) {
         for (const NodeId d : dests_) {
           NodeContext ctx(*this, d);
+          const std::size_t rx0 = stats_.receptions;
           deliver_fast_to(d, read, ctx, stats_.receptions, merge_scratch_);
+          if (inbox_hist != nullptr) {
+            inbox_local.record(stats_.receptions - rx0);
+          }
         }
       } else {
         chunked_phase(dests_.size(),
                       [&](std::size_t b, detail::EngineOutbox& out) {
                         NodeContext ctx(*this, dests_[b], &out);
+                        const std::size_t rx0 = out.receptions;
                         deliver_fast_to(dests_[b], read, ctx, out.receptions,
                                         out.scratch);
+                        if (inbox_hist != nullptr) {
+                          out.inbox_sizes.record(out.receptions - rx0);
+                        }
                       });
+        merge_outbox_samples();
       }
     } else {
       // Lossy path: receiver-batched delivery over the materialized queue:
@@ -463,6 +499,9 @@ bool SyncEngine::run_impl(std::size_t max_rounds, ThreadPool* pool) {
           sort_bucket(b);
           const NodeId d = dests_[b];
           NodeContext ctx(*this, d);
+          if (inbox_hist != nullptr) {
+            inbox_local.record(spans_[b + 1] - spans_[b]);
+          }
           for (std::size_t i = spans_[b]; i < spans_[b + 1]; ++i) {
             ++stats_.receptions;
             agents_[d]->on_message(ctx, scratch_[i].msg);
@@ -474,23 +513,54 @@ bool SyncEngine::run_impl(std::size_t max_rounds, ThreadPool* pool) {
                         sort_bucket(b);
                         const NodeId d = dests_[b];
                         NodeContext ctx(*this, d, &out);
+                        if (inbox_hist != nullptr) {
+                          out.inbox_sizes.record(spans_[b + 1] - spans_[b]);
+                        }
                         for (std::size_t i = spans_[b]; i < spans_[b + 1];
                              ++i) {
                           ++out.receptions;
                           agents_[d]->on_message(ctx, scratch_[i].msg);
                         }
                       });
+        merge_outbox_samples();
       }
     }
 
     all_nodes_phase(
         [&](NodeId v, NodeContext& ctx) { agents_[v]->on_round_end(ctx); });
+
+    round_span.arg("delivered",
+                   static_cast<std::int64_t>(stats_.receptions - round_rx0));
+    round_span.arg("sent",
+                   static_cast<std::int64_t>(stats_.transmissions - round_tx0));
   }
-  return write_side_empty() &&
-         std::all_of(agents_.begin(), agents_.end(),
-                     [](const std::unique_ptr<NodeAgent>& a) {
-                       return a->finished();
-                     });
+
+  const bool done =
+      quiesced ||
+      (write_side_empty() &&
+       std::all_of(agents_.begin(), agents_.end(),
+                   [](const std::unique_ptr<NodeAgent>& a) {
+                     return a->finished();
+                   }));
+  if (inbox_hist != nullptr) inbox_local.flush(*inbox_hist);
+  if (tel) stats_.publish();
+  run_span.arg("rounds", static_cast<std::int64_t>(stats_.rounds));
+  run_span.arg("transmissions",
+               static_cast<std::int64_t>(stats_.transmissions));
+  run_span.arg("receptions", static_cast<std::int64_t>(stats_.receptions));
+  run_span.arg("quiesced", done ? 1 : 0);
+  return done;
+}
+
+void SimStats::publish() const {
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("engine.runs").inc();
+  reg.counter("engine.rounds").add(rounds);
+  reg.counter("engine.transmissions").add(transmissions);
+  reg.counter("engine.receptions").add(receptions);
+  reg.counter("engine.payload_words").add(payload_words);
+  reg.counter("engine.drops").add(drops);
+  reg.counter("engine.retransmissions").add(retransmissions);
 }
 
 }  // namespace khop

@@ -54,6 +54,7 @@
 #include <vector>
 
 #include "khop/graph/graph.hpp"
+#include "khop/obs/metrics.hpp"
 #include "khop/sim/message.hpp"
 
 namespace khop {
@@ -123,6 +124,10 @@ struct EngineOutbox {
   std::size_t receptions = 0;
   /// Per-worker merge buffer for fast-path delivery (see deliver_fast_to).
   std::vector<BcastRec> scratch;
+  /// Per-chunk inbox-size samples (telemetry only); merged at the serial
+  /// join after each delivery phase, NOT dropped by reset() — the merge
+  /// happens after flush_outboxes has already reset the chunk.
+  obs::LocalHistogram inbox_sizes;
 
   void reset() noexcept {
     arena.clear();

@@ -149,6 +149,21 @@ struct SimStats {
   std::size_t drops = 0;           ///< per-link deliveries lost for good
                                    ///< (after exhausting any retry budget)
   std::size_t retransmissions = 0; ///< link-layer retries attempted
+
+  /// Counts one radio transmission carrying \p words payload words — the
+  /// single accounting point shared by every engine send path (broadcast /
+  /// addressed, serial / recorded / replayed).
+  void note_transmission(std::size_t words) noexcept {
+    ++transmissions;
+    payload_words += words;
+  }
+
+  /// Adds these counters to the global obs::Registry under the `engine.*`
+  /// metric names (see docs/observability.md). The struct stays the
+  /// per-engine view; the registry is the queryable cross-engine store.
+  /// Called by SyncEngine at the end of every run when telemetry is
+  /// enabled; defined in sim/engine.cpp.
+  void publish() const;
 };
 
 }  // namespace khop

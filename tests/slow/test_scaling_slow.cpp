@@ -42,7 +42,7 @@ TEST(WorkspaceEquivalenceSlow, ClusteringMatchesReferenceAtScale) {
   }
 }
 
-TEST(BenchHarnessSlow, TimesKernelsAndEmitsSchemaV1Json) {
+TEST(BenchHarnessSlow, TimesKernelsAndEmitsSchemaV2Json) {
   bench::Harness h("test", {2, 0.0});
   const Graph g = random_topology(200, 6.0, 7);
   Workspace ws;
@@ -65,7 +65,9 @@ TEST(BenchHarnessSlow, TimesKernelsAndEmitsSchemaV1Json) {
 
   const std::string json = h.to_json();
   EXPECT_NE(json.find("\"schema\": \"khop.bench\""), std::string::npos);
-  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"allocs_per_rep\""), std::string::npos);
+  EXPECT_NE(json.find("\"peak_rss_bytes\""), std::string::npos);
   EXPECT_NE(json.find("\"kernels\""), std::string::npos);
   EXPECT_NE(json.find("\"speedups\""), std::string::npos);
   EXPECT_NE(json.find("\"wall_ns_mean\""), std::string::npos);

@@ -1,0 +1,266 @@
+// Unit suite for the telemetry subsystem (src/khop/obs): histogram
+// bucketing + quantile math, counter/gauge semantics under threads, RAII
+// span nesting and thread attribution, registry JSON shape, and the
+// disabled-path no-op guarantees.
+//
+// Every test restores the global telemetry state it touched: the registry
+// and tracer are process-wide, and other suites (the determinism suite in
+// particular) assume telemetry starts disabled and empty.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "khop/obs/metrics.hpp"
+#include "khop/obs/telemetry.hpp"
+#include "khop/obs/trace.hpp"
+
+namespace khop::obs {
+namespace {
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset_all(); }
+  void TearDown() override {
+    set_enabled(false);
+    reset_all();
+  }
+};
+
+TEST_F(ObsTest, HistogramBucketBoundaries) {
+  // Bucket 0 = {0}; bucket b >= 1 = [2^(b-1), 2^b - 1].
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(7), 3u);
+  EXPECT_EQ(Histogram::bucket_of(8), 4u);
+  EXPECT_EQ(Histogram::bucket_of(std::numeric_limits<std::uint64_t>::max()),
+            Histogram::kBuckets - 1);
+  for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+    EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_lo(b)), b);
+    EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_hi(b)), b);
+  }
+  EXPECT_EQ(Histogram::bucket_lo(1), 1u);
+  EXPECT_EQ(Histogram::bucket_hi(1), 1u);
+  EXPECT_EQ(Histogram::bucket_lo(4), 8u);
+  EXPECT_EQ(Histogram::bucket_hi(4), 15u);
+}
+
+TEST_F(ObsTest, HistogramCountSumAndBuckets) {
+  Histogram h("t");
+  for (std::uint64_t v : {0ull, 1ull, 1ull, 5ull, 9ull}) h.record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 16u);
+  EXPECT_EQ(h.bucket_count(0), 1u);  // {0}
+  EXPECT_EQ(h.bucket_count(1), 2u);  // {1, 1}
+  EXPECT_EQ(h.bucket_count(3), 1u);  // 5 in [4,7]
+  EXPECT_EQ(h.bucket_count(4), 1u);  // 9 in [8,15]
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+}
+
+TEST_F(ObsTest, HistogramQuantiles) {
+  Histogram h("t");
+  EXPECT_EQ(h.quantile(0.5), 0.0);  // empty
+
+  // Single sample: every quantile interpolates within that sample's bucket.
+  h.record(6);  // bucket 3 = [4, 7]
+  const double q = h.quantile(0.5);
+  EXPECT_GE(q, 4.0);
+  EXPECT_LE(q, 7.0);
+
+  // 100 samples of value 1 and one of 1000: p50 sits in bucket 1 (exact
+  // value 1), p99+ may reach the outlier's bucket.
+  h.reset();
+  for (int i = 0; i < 100; ++i) h.record(1);
+  h.record(1000);
+  EXPECT_EQ(h.quantile(0.5), 1.0);  // bucket [1,1] interpolates to exactly 1
+  EXPECT_EQ(h.quantile(0.9), 1.0);
+  const double p999 = h.quantile(0.999);
+  EXPECT_GE(p999, 512.0);  // the outlier's bucket [512, 1023]
+  EXPECT_LE(p999, 1023.0);
+
+  // Quantile error is bounded by the bucket: the returned value lands in
+  // the same bucket as the true sample quantile.
+  h.reset();
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  for (double p : {0.5, 0.9, 0.99}) {
+    const double got = h.quantile(p);
+    const std::uint64_t truth =
+        static_cast<std::uint64_t>(p * 1000.0);  // samples are 1..1000
+    EXPECT_EQ(Histogram::bucket_of(static_cast<std::uint64_t>(got)),
+              Histogram::bucket_of(truth))
+        << "p=" << p << " got=" << got << " truth=" << truth;
+  }
+}
+
+TEST_F(ObsTest, LocalHistogramFlushAndMerge) {
+  Histogram h("t");
+  LocalHistogram a;
+  LocalHistogram b;
+  a.record(0);
+  a.record(5);
+  b.record(9);
+  EXPECT_EQ(h.count(), 0u);  // nothing reaches the histogram until flush
+  a.merge(b);
+  EXPECT_EQ(b.total(), 0u);  // merge drains the source
+  EXPECT_EQ(a.total(), 3u);
+  a.flush(h);
+  EXPECT_EQ(a.total(), 0u);  // flush drains the batch
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 14u);
+  EXPECT_EQ(h.bucket_count(0), 1u);  // {0}
+  EXPECT_EQ(h.bucket_count(3), 1u);  // 5 in [4,7]
+  EXPECT_EQ(h.bucket_count(4), 1u);  // 9 in [8,15]
+}
+
+TEST_F(ObsTest, CounterAcrossThreads) {
+  Counter c("t");
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kEach = 10000;
+  std::vector<std::thread> ts;
+  for (int i = 0; i < kThreads; ++i) {
+    ts.emplace_back([&] {
+      for (std::uint64_t j = 0; j < kEach; ++j) c.inc();
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(c.value(), kThreads * kEach);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(ObsTest, GaugeTracksMax) {
+  Gauge g("t");
+  g.set(5);
+  g.set(12);
+  g.set(3);
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_EQ(g.max(), 12);
+}
+
+TEST_F(ObsTest, RegistryReturnsStableInstruments) {
+  Registry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&reg.counter("y"), &a);
+  a.add(3);
+  reg.reset();
+  EXPECT_EQ(a.value(), 0u);  // reset zeros, registration survives
+  EXPECT_EQ(&reg.counter("x"), &a);
+}
+
+TEST_F(ObsTest, RegistryJsonShape) {
+  Registry reg;
+  reg.counter("c1").add(7);
+  reg.gauge("g1").set(-2);
+  reg.histogram("h1").record(5);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"schema\": \"khop.metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"c1\""), std::string::npos);
+  EXPECT_NE(json.find("\"g1\""), std::string::npos);
+  EXPECT_NE(json.find("\"h1\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+}
+
+TEST_F(ObsTest, SpanDisabledRecordsNothing) {
+  ASSERT_FALSE(enabled());
+  const std::size_t before = Tracer::global().num_events();
+  {
+    Span s("test/disabled");
+    s.arg("x", 1);
+  }
+  EXPECT_EQ(Tracer::global().num_events(), before);
+}
+
+TEST_F(ObsTest, SpanNestingDepthAndArgs) {
+#if !KHOP_TELEMETRY
+  GTEST_SKIP() << "telemetry compiled out";
+#endif
+  ScopedEnable on;
+  {
+    Span outer("test/outer");
+    outer.arg("a", 42);
+    {
+      Span inner("test/inner");
+      inner.arg("b", -7);
+    }
+  }
+  const auto events = Tracer::global().snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner closes first, so it is recorded first.
+  const TraceEvent& inner = events[0];
+  const TraceEvent& outer = events[1];
+  EXPECT_STREQ(inner.name, "test/inner");
+  EXPECT_STREQ(outer.name, "test/outer");
+  EXPECT_EQ(outer.depth, 0);
+  EXPECT_EQ(inner.depth, 1);
+  EXPECT_EQ(inner.tid, outer.tid);
+  EXPECT_GE(inner.t0_ns, outer.t0_ns);
+  EXPECT_LE(inner.t1_ns, outer.t1_ns);
+  ASSERT_EQ(outer.nargs, 1);
+  EXPECT_STREQ(outer.args[0].key, "a");
+  EXPECT_EQ(outer.args[0].value, 42);
+  ASSERT_EQ(inner.nargs, 1);
+  EXPECT_EQ(inner.args[0].value, -7);
+}
+
+TEST_F(ObsTest, SpanThreadAttribution) {
+#if !KHOP_TELEMETRY
+  GTEST_SKIP() << "telemetry compiled out";
+#endif
+  ScopedEnable on;
+  { Span s("test/main"); }
+  std::thread worker([] { Span s("test/worker"); });
+  worker.join();
+  const auto events = Tracer::global().snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].tid, events[1].tid);
+  for (const TraceEvent& e : events) EXPECT_EQ(e.depth, 0);
+}
+
+TEST_F(ObsTest, ChromeJsonIsWellFormedEnough) {
+#if !KHOP_TELEMETRY
+  GTEST_SKIP() << "telemetry compiled out";
+#endif
+  {
+    ScopedEnable on;
+    Span s("test/export");
+    s.arg("n", 3);
+  }
+  const std::string json = Tracer::global().to_chrome_json();
+  EXPECT_NE(json.find("\"schema\": \"khop.trace\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"test/export\""), std::string::npos);
+  EXPECT_NE(json.find("\"n\": 3"), std::string::npos);
+}
+
+TEST_F(ObsTest, ScopedEnableRestores) {
+  ASSERT_FALSE(enabled());
+  {
+    ScopedEnable on;
+#if KHOP_TELEMETRY
+    EXPECT_TRUE(enabled());
+#endif
+    {
+      ScopedEnable off(false);
+      EXPECT_FALSE(enabled());
+    }
+#if KHOP_TELEMETRY
+    EXPECT_TRUE(enabled());
+#endif
+  }
+  EXPECT_FALSE(enabled());
+}
+
+}  // namespace
+}  // namespace khop::obs

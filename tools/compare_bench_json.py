@@ -36,8 +36,9 @@ def load(path):
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         sys.exit(f"{path}: unreadable or not JSON ({e})")
-    if doc.get("schema") != "khop.bench" or doc.get("schema_version") != 1:
-        sys.exit(f"{path}: not a khop.bench v1 file")
+    if (doc.get("schema") != "khop.bench"
+            or doc.get("schema_version") not in (1, 2)):
+        sys.exit(f"{path}: not a khop.bench v1/v2 file")
     return doc
 
 

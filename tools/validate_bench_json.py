@@ -1,5 +1,8 @@
 #!/usr/bin/env python3
-"""Validates a BENCH_*.json file against the khop.bench schema (version 1).
+"""Validates a BENCH_*.json file against the khop.bench schema.
+
+Accepts schema versions 1 and 2. Version 2 adds two required per-kernel
+memory columns: allocs_per_rep and peak_rss_bytes.
 
 Usage: validate_bench_json.py FILE [FILE...]
 Exits non-zero (printing the first problem) if any file is invalid.
@@ -16,6 +19,11 @@ KERNEL_FIELDS = {
     "wall_ns_mean": (int, float),
     "wall_ns_min": (int, float),
     "checksum": (int, float),
+}
+KERNEL_FIELDS_V2 = {
+    **KERNEL_FIELDS,
+    "allocs_per_rep": int,
+    "peak_rss_bytes": int,
 }
 SPEEDUP_FIELDS = {"name": str, "n": int, "speedup": (int, float)}
 REQUIRED_KERNELS = {"bounded_bfs", "clustering", "backbone", "engine_flood"}
@@ -50,8 +58,9 @@ def validate(path):
 
     if doc.get("schema") != "khop.bench":
         fail(path, "schema must be 'khop.bench'")
-    if doc.get("schema_version") != 1:
-        fail(path, "schema_version must be 1")
+    version = doc.get("schema_version")
+    if version not in (1, 2):
+        fail(path, "schema_version must be 1 or 2")
     if not isinstance(doc.get("label"), str) or not doc["label"]:
         fail(path, "label must be a non-empty string")
     if not isinstance(doc.get("kernels"), list) or not doc["kernels"]:
@@ -59,7 +68,8 @@ def validate(path):
     if not isinstance(doc.get("speedups"), list):
         fail(path, "speedups must be an array")
 
-    check_rows(path, doc["kernels"], KERNEL_FIELDS, "kernels")
+    kernel_fields = KERNEL_FIELDS if version == 1 else KERNEL_FIELDS_V2
+    check_rows(path, doc["kernels"], kernel_fields, "kernels")
     check_rows(path, doc["speedups"], SPEEDUP_FIELDS, "speedups")
 
     names = {row["name"] for row in doc["kernels"]}
@@ -75,7 +85,7 @@ def validate(path):
             fail(path, f"checksum mismatch across variants of {key}")
         by_key[key] = row["checksum"]
 
-    print(f"{path}: OK ({len(doc['kernels'])} kernel rows, "
+    print(f"{path}: OK (v{version}, {len(doc['kernels'])} kernel rows, "
           f"{len(doc['speedups'])} speedups)")
 
 

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Validates a khop trace file (Chrome trace-event JSON, khop.trace v1).
+
+Checks the envelope (otherData.schema == "khop.trace", schema_version 1,
+traceEvents array), every event row (M metadata rows and X complete spans
+with non-negative ts/dur, integer pid/tid, args object), and two structural
+properties Perfetto itself would tolerate silently:
+
+ * every X event's tid has a thread_name metadata row, and
+ * per (tid, depth) the span intervals properly nest within their depth-1
+   parent (a child's [ts, ts+dur] lies inside some enclosing span).
+
+Usage: validate_trace_json.py FILE [FILE...]
+Exits non-zero (printing the first problem) if any file is invalid.
+"""
+import json
+import sys
+
+
+def fail(path, msg):
+    print(f"{path}: INVALID - {msg}")
+    sys.exit(1)
+
+
+def validate(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"unreadable or not JSON ({e})")
+
+    other = doc.get("otherData")
+    if not isinstance(other, dict) or other.get("schema") != "khop.trace":
+        fail(path, "otherData.schema must be 'khop.trace'")
+    if other.get("schema_version") != 1:
+        fail(path, "otherData.schema_version must be 1")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(path, "traceEvents must be a non-empty array")
+
+    named_tids = set()
+    spans = []  # (tid, depth, ts, end)
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            fail(path, f"traceEvents[{i}] is not an object")
+        ph = e.get("ph")
+        if ph not in ("M", "X"):
+            fail(path, f"traceEvents[{i}].ph must be 'M' or 'X', got {ph!r}")
+        if not isinstance(e.get("name"), str) or not e["name"]:
+            fail(path, f"traceEvents[{i}].name must be a non-empty string")
+        for key in ("pid", "tid"):
+            if not isinstance(e.get(key), int) or isinstance(e.get(key), bool):
+                fail(path, f"traceEvents[{i}].{key} must be an integer")
+        if ph == "M":
+            if e["name"] != "thread_name":
+                fail(path, f"traceEvents[{i}]: unexpected metadata "
+                           f"'{e['name']}'")
+            named_tids.add(e["tid"])
+            continue
+        for key in ("ts", "dur"):
+            v = e.get(key)
+            if not isinstance(v, (int, float)) or isinstance(v, bool) or v < 0:
+                fail(path, f"traceEvents[{i}].{key} must be a non-negative "
+                           f"number")
+        args = e.get("args")
+        if not isinstance(args, dict):
+            fail(path, f"traceEvents[{i}].args must be an object")
+        depth = args.get("depth")
+        if not isinstance(depth, int) or isinstance(depth, bool) or depth < 0:
+            fail(path, f"traceEvents[{i}].args.depth must be a non-negative "
+                       f"integer")
+        spans.append((e["tid"], depth, e["ts"], e["ts"] + e["dur"]))
+
+    if not spans:
+        fail(path, "no X (span) events")
+    missing = {tid for tid, _, _, _ in spans} - named_tids
+    if missing:
+        fail(path, f"tids without a thread_name row: {sorted(missing)}")
+
+    # Nesting: every depth-d > 0 span must lie inside a depth d-1 span on
+    # the same thread. O(per-thread n^2) worst case; fine at trace sizes.
+    by_tid = {}
+    for tid, depth, ts, end in spans:
+        by_tid.setdefault(tid, []).append((depth, ts, end))
+    for tid, rows in by_tid.items():
+        for depth, ts, end in rows:
+            if depth == 0:
+                continue
+            if not any(d == depth - 1 and pts <= ts and end <= pend
+                       for d, pts, pend in rows):
+                fail(path, f"span at tid={tid} depth={depth} ts={ts} has no "
+                           f"enclosing depth-{depth - 1} span")
+
+    print(f"{path}: OK ({len(spans)} spans, {len(named_tids)} threads)")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 2:
+        print(__doc__)
+        sys.exit(2)
+    for p in sys.argv[1:]:
+        validate(p)
