@@ -1,6 +1,7 @@
 #include "khop/cluster/clustering.hpp"
 
 #include <algorithm>
+#include <span>
 #include <tuple>
 
 #include "khop/common/assert.hpp"
@@ -22,15 +23,21 @@ std::vector<NodeId> Clustering::cluster_members(std::uint32_t c) const {
 
 namespace {
 
-/// Candidate head heard by an undecided node in the current round.
+/// One declaration heard this round: undecided node \p v heard head \p head
+/// at hop distance \p dist. The round's declarations live in one flat vector
+/// (winner-major fill order, then stably grouped by v) instead of the former
+/// vector-of-vectors `heard[v]` — at n = 10^6 the n vector headers alone
+/// were 24 MB of zeroed memory per call.
 struct Candidate {
+  NodeId v = kInvalidNode;
   NodeId head = kInvalidNode;
   Hops dist = kUnreachable;
 };
 
-/// Picks among this round's candidates per the affiliation rule.
-/// \p cluster_sizes maps head -> current member count (size-based rule).
-NodeId pick_cluster(const std::vector<Candidate>& cands, AffiliationRule rule,
+/// Picks among one node's candidates per the affiliation rule.
+/// \p cluster_sizes maps head -> current member count (size-based rule only;
+/// empty otherwise and never read).
+NodeId pick_cluster(std::span<const Candidate> cands, AffiliationRule rule,
                     const std::vector<std::size_t>& cluster_sizes) {
   KHOP_ASSERT(!cands.empty(), "node heard no declarations");
   const Candidate* best = &cands.front();
@@ -73,20 +80,24 @@ Clustering khop_clustering(const Graph& g, Hops k,
   result.head_of.assign(n, kInvalidNode);
   result.dist_to_head.assign(n, kUnreachable);
 
-  std::vector<bool> decided(n, false);
-  std::size_t undecided_count = n;
-  // cluster_sizes[head]: members assigned so far (head included), for the
-  // size-based rule. Indexed by node id for simplicity.
-  std::vector<std::size_t> cluster_sizes(n, 0);
+  // Decided marks live in the workspace's epoch-stamped flag set (O(1)
+  // clear, no per-call O(n) bit-vector), and the phase-A scan walks a
+  // compact ascending list of undecided nodes instead of all n ids.
+  ws.flags.begin(n);
+  std::vector<NodeId>& undecided = ws.node_buf;
+  undecided.clear();
+  undecided.reserve(n);
+  for (NodeId u = 0; u < n; ++u) undecided.push_back(u);
+  // cluster_sizes[head]: members assigned so far (head included). Only the
+  // size-based rule reads it; the other rules skip the O(n) array entirely.
+  std::vector<std::size_t> cluster_sizes;
+  if (rule == AffiliationRule::kSizeBased) cluster_sizes.assign(n, 0);
 
-  // Round-scoped buffers, hoisted so rounds reuse their capacity. `heard`
-  // entries are cleared via `touched` rather than reconstructing n vectors
-  // per round.
+  // Round-scoped buffers, hoisted so rounds reuse their capacity.
   std::vector<NodeId> winners;
-  std::vector<std::vector<Candidate>> heard(n);
-  std::vector<NodeId> touched;
+  std::vector<Candidate> declared;
 
-  while (undecided_count > 0) {
+  while (!undecided.empty()) {
     ++result.election_rounds;
     KHOP_ASSERT(result.election_rounds <= n, "election failed to make progress");
 
@@ -96,12 +107,11 @@ Clustering khop_clustering(const Graph& g, Hops k,
     // The scratch's reached() set is exactly {v : dist <= k}, so scanning it
     // is equivalent to the full 0..n scan with unreachable-skips.
     winners.clear();
-    for (NodeId u = 0; u < n; ++u) {
-      if (decided[u]) continue;
+    for (NodeId u : undecided) {
       ws.bfs.run(g, u, k);
       bool best = true;
       for (NodeId v : ws.bfs.reached()) {
-        if (v == u || decided[v]) continue;
+        if (v == u || ws.flags.test(v)) continue;
         if (priorities[v] < priorities[u]) {
           best = false;
           break;
@@ -112,48 +122,58 @@ Clustering khop_clustering(const Graph& g, Hops k,
     KHOP_ASSERT(!winners.empty(), "no winner in a round");
 
     // Phase B - winners declare; undecided nodes within k hops collect the
-    // declarations they hear this round. Each winner contributes at most one
-    // candidate per node, so filling heard[v] in winner order matches the
-    // reference implementation's per-v candidate order.
+    // declarations they hear this round. The flat `declared` vector is
+    // filled winner-major, so after the stable per-v grouping below each
+    // node's candidates appear in winner order — exactly the order the
+    // former per-node heard[v] lists (and the reference implementation)
+    // accumulate them in.
+    declared.clear();
     for (NodeId w : winners) {
-      decided[w] = true;
-      --undecided_count;
+      ws.flags.set(w);
       result.head_of[w] = w;
       result.dist_to_head[w] = 0;
-      cluster_sizes[w] = 1;
+      if (rule == AffiliationRule::kSizeBased) cluster_sizes[w] = 1;
       result.heads.push_back(w);
 
       ws.bfs.run(g, w, k);
       for (NodeId v : ws.bfs.reached()) {
-        if (decided[v] || v == w) continue;
-        if (heard[v].empty()) touched.push_back(v);
-        heard[v].push_back({w, ws.bfs.dist(v)});
+        if (ws.flags.test(v) || v == w) continue;
+        declared.push_back({v, w, ws.bfs.dist(v)});
       }
     }
 
-    // Same-round winners must be mutually > k hops apart; otherwise one of
-    // them would have seen the other's better priority.
-    for (NodeId w : winners) {
-      KHOP_ASSERT(heard[w].empty(), "two same-round winners within k hops");
-    }
-
-    // Phase C - affiliation. Processing in ascending node id keeps the
-    // size-based greedy deterministic.
-    std::sort(touched.begin(), touched.end());
-    for (NodeId v : touched) {
-      KHOP_ASSERT(!decided[v] && !heard[v].empty(), "stale affiliation entry");
-      const NodeId h = pick_cluster(heard[v], rule, cluster_sizes);
-      decided[v] = true;
-      --undecided_count;
+    // Phase C - affiliation. Stable grouping by v: ascending node id (the
+    // order that keeps the size-based greedy deterministic) with the
+    // winner-order candidate list preserved inside each group.
+    std::stable_sort(declared.begin(), declared.end(),
+                     [](const Candidate& a, const Candidate& b) {
+                       return a.v < b.v;
+                     });
+    std::size_t i = 0;
+    while (i < declared.size()) {
+      const NodeId v = declared[i].v;
+      std::size_t j = i;
+      while (j < declared.size() && declared[j].v == v) ++j;
+      // Same-round winners must be mutually > k hops apart (otherwise one
+      // would have seen the other's better priority), so no declaration may
+      // target an already-decided node — at this point, exactly the winners.
+      KHOP_ASSERT(!ws.flags.test(v), "two same-round winners within k hops");
+      const std::span<const Candidate> cands{declared.data() + i, j - i};
+      const NodeId h = pick_cluster(cands, rule, cluster_sizes);
+      ws.flags.set(v);
       result.head_of[v] = h;
       result.dist_to_head[v] =
-          std::find_if(heard[v].begin(), heard[v].end(),
+          std::find_if(cands.begin(), cands.end(),
                        [&](const Candidate& c) { return c.head == h; })
               ->dist;
-      ++cluster_sizes[h];
-      heard[v].clear();
+      if (rule == AffiliationRule::kSizeBased) ++cluster_sizes[h];
+      i = j;
     }
-    touched.clear();
+
+    // Compact the undecided list in place; the filter preserves ascending
+    // order.
+    std::erase_if(undecided,
+                  [&](NodeId u) { return ws.flags.test(u); });
   }
 
   std::sort(result.heads.begin(), result.heads.end());

@@ -22,7 +22,7 @@ TrialResultMetrics run_single_trial(const ExperimentConfig& cfg, Rng& rng,
   GeneratorConfig gen;
   gen.num_nodes = cfg.num_nodes;
   gen.explicit_radius = cfg.radius;
-  const AdHocNetwork net = generate_network(gen, rng);
+  const AdHocNetwork net = generate_network(gen, rng, ws);
 
   const Clustering clustering = khop_clustering(
       net.graph, cfg.k, make_priorities(net.graph, PriorityRule::kLowestId),

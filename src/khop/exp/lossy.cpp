@@ -79,7 +79,7 @@ LossyTrialMetrics run_lossy_trial(const LossyExperimentConfig& cfg, Rng& rng,
   GeneratorConfig gen;
   gen.num_nodes = cfg.num_nodes;
   gen.explicit_radius = cfg.radius;
-  AdHocNetwork net = generate_network(gen, rng);
+  AdHocNetwork net = generate_network(gen, rng, ws);
 
   const std::unique_ptr<LinkModel> model = make_link_model(cfg, *cfg.radius);
   LinkLayer layer = rebuild_with_model(net, *model);

@@ -1,11 +1,35 @@
 #include "khop/graph/bfs_scratch.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "khop/common/assert.hpp"
 #include "khop/graph/dynamic_graph.hpp"
+#include "khop/obs/metrics.hpp"
+#include "khop/obs/telemetry.hpp"
 
 namespace khop {
+
+namespace {
+
+// A level switches to bottom-up expansion once its frontier holds at least
+// n / kDenseFrontierDivisor nodes. The cutover is a pure cost heuristic: both
+// directions compute the identical level (see expand_bottom_up), so the
+// threshold affects wall time only, never output.
+constexpr std::size_t kDenseFrontierDivisor = 8;
+// Below this the bitset bookkeeping costs more than it saves; tiny graphs
+// always expand top-down.
+constexpr std::size_t kDenseMinNodes = 128;
+
+obs::Histogram& frontier_size_hist() {
+  // Name resolution takes the registry mutex; do it once per process (the
+  // instrument address is stable for the registry's lifetime).
+  static obs::Histogram& h =
+      obs::Registry::global().histogram("bfs.frontier_size");
+  return h;
+}
+
+}  // namespace
 
 void BfsScratch::begin(std::size_t n) {
   if (stamp_.size() < n) {
@@ -13,22 +37,60 @@ void BfsScratch::begin(std::size_t n) {
     dist_.resize(n);
     parent_.resize(n);
   }
-  if (epoch_ == std::numeric_limits<std::uint32_t>::max()) {
-    // Epoch wrap: stale stamps could alias the new epoch, so clear them once.
-    std::fill(stamp_.begin(), stamp_.end(), 0);
+  if (epoch_ == std::numeric_limits<std::uint8_t>::max()) {
+    // Epoch wrap: stale stamps could alias the new epoch, so clear them once
+    // every 255 runs (amortized O(n/255) per run).
+    std::fill(stamp_.begin(), stamp_.end(), std::uint8_t{0});
     epoch_ = 0;
   }
   ++epoch_;
   reached_.clear();
   level_end_.clear();
-  frontier_.clear();
-  next_.clear();
+}
+
+template <typename GraphT>
+void BfsScratch::expand_bottom_up(const GraphT& g, std::size_t lvl_begin,
+                                  std::size_t lvl_end, Hops level) {
+  const std::size_t n = g.num_nodes();
+  if (frontier_bits_.size() < (n + 63) / 64) {
+    frontier_bits_.assign((n + 63) / 64, 0);
+  }
+  for (std::size_t i = lvl_begin; i < lvl_end; ++i) {
+    const NodeId u = reached_[i];
+    frontier_bits_[u >> 6] |= std::uint64_t{1} << (u & 63);
+  }
+  // Bit-exactness vs the top-down direction: a node v first reachable at
+  // distance level+1 has, among its neighbors, only nodes at distance level
+  // (the frontier) or level+1 or level+2 (both unvisited so far). Its
+  // canonical top-down parent is the minimum-id frontier neighbor (the
+  // frontier span is sorted ascending, so the smallest-id frontier member
+  // adjacent to v stamps it first). Scanning v's *sorted* adjacency and
+  // taking the first frontier hit yields exactly that node. Appending v in
+  // the ascending v-scan order reproduces the sorted level order the
+  // top-down direction gets from its tail sort.
+  for (NodeId v = 0; v < static_cast<NodeId>(n); ++v) {
+    if (stamp_[v] == epoch_) continue;
+    for (NodeId u : g.neighbors(v)) {
+      if ((frontier_bits_[u >> 6] >> (u & 63)) & 1u) {
+        stamp_[v] = epoch_;
+        dist_[v] = level + 1;
+        parent_[v] = u;
+        reached_.push_back(v);
+        break;
+      }
+    }
+  }
+  for (std::size_t i = lvl_begin; i < lvl_end; ++i) {
+    const NodeId u = reached_[i];
+    frontier_bits_[u >> 6] &= ~(std::uint64_t{1} << (u & 63));
+  }
 }
 
 template <typename GraphT>
 void BfsScratch::run_any(const GraphT& g, NodeId source, Hops max_hops) {
   KHOP_REQUIRE(source < g.num_nodes(), "BFS source out of range");
-  begin(g.num_nodes());
+  const std::size_t n = g.num_nodes();
+  begin(n);
   source_ = source;
   stamp_[source] = epoch_;
   dist_[source] = 0;
@@ -36,26 +98,35 @@ void BfsScratch::run_any(const GraphT& g, NodeId source, Hops max_hops) {
   reached_.push_back(source);
   level_end_.push_back(reached_.size());
 
-  frontier_.push_back(source);
+  const bool telemetry_on = obs::enabled();
+  std::size_t lvl_begin = 0;
+  std::size_t lvl_end = reached_.size();
   Hops level = 0;
-  while (!frontier_.empty() && level < max_hops) {
-    next_.clear();
-    for (NodeId u : frontier_) {
-      for (NodeId v : g.neighbors(u)) {
-        if (stamp_[v] != epoch_) {
-          stamp_[v] = epoch_;
-          dist_[v] = level + 1;
-          parent_[v] = u;
-          next_.push_back(v);
+  while (lvl_begin < lvl_end && level < max_hops) {
+    const std::size_t frontier_size = lvl_end - lvl_begin;
+    if (telemetry_on) frontier_size_hist().record(frontier_size);
+    if (n >= kDenseMinNodes && frontier_size * kDenseFrontierDivisor >= n) {
+      expand_bottom_up(g, lvl_begin, lvl_end, level);
+    } else {
+      for (std::size_t i = lvl_begin; i < lvl_end; ++i) {
+        const NodeId u = reached_[i];
+        for (NodeId v : g.neighbors(u)) {
+          if (stamp_[v] != epoch_) {
+            stamp_[v] = epoch_;
+            dist_[v] = level + 1;
+            parent_[v] = u;
+            reached_.push_back(v);
+          }
         }
       }
+      // Keep each level ascending: with sorted adjacency this preserves the
+      // canonical min-id parent guarantee for the next level (see bfs.cpp).
+      std::sort(reached_.begin() + static_cast<std::ptrdiff_t>(lvl_end),
+                reached_.end());
     }
-    // Keep each level ascending: with sorted adjacency this preserves the
-    // canonical min-id parent guarantee for the next level (see bfs.cpp).
-    std::sort(next_.begin(), next_.end());
-    reached_.insert(reached_.end(), next_.begin(), next_.end());
-    if (!next_.empty()) level_end_.push_back(reached_.size());
-    frontier_.swap(next_);
+    if (reached_.size() > lvl_end) level_end_.push_back(reached_.size());
+    lvl_begin = lvl_end;
+    lvl_end = reached_.size();
     ++level;
   }
 }
@@ -77,33 +148,39 @@ void BfsScratch::run_multi(const Graph& g, std::span<const NodeId> seeds) {
     stamp_[s] = epoch_;
     dist_[s] = 0;
     parent_[s] = s;  // owner
-    frontier_.push_back(s);
+    reached_.push_back(s);
   }
-  std::sort(frontier_.begin(), frontier_.end());
-  reached_.insert(reached_.end(), frontier_.begin(), frontier_.end());
-  if (!frontier_.empty()) level_end_.push_back(reached_.size());
+  std::sort(reached_.begin(), reached_.end());
+  if (!reached_.empty()) level_end_.push_back(reached_.size());
 
+  // Owner propagation stays top-down at every density: the min-owner
+  // tie-break below must see *all* frontier neighbors of a node, which the
+  // first-hit bottom-up scan cannot provide.
+  const bool telemetry_on = obs::enabled();
+  std::size_t lvl_begin = 0;
+  std::size_t lvl_end = reached_.size();
   Hops level = 0;
-  while (!frontier_.empty()) {
-    next_.clear();
-    for (NodeId u : frontier_) {
+  while (lvl_begin < lvl_end) {
+    if (telemetry_on) frontier_size_hist().record(lvl_end - lvl_begin);
+    for (std::size_t i = lvl_begin; i < lvl_end; ++i) {
+      const NodeId u = reached_[i];
       for (NodeId v : g.neighbors(u)) {
         if (stamp_[v] != epoch_) {
           stamp_[v] = epoch_;
           dist_[v] = level + 1;
           parent_[v] = parent_[u];
-          next_.push_back(v);
+          reached_.push_back(v);
         } else if (dist_[v] == level + 1 && parent_[u] < parent_[v]) {
           // Same level, smaller owning seed wins (deterministic tie-break).
           parent_[v] = parent_[u];
         }
       }
     }
-    std::sort(next_.begin(), next_.end());
-    next_.erase(std::unique(next_.begin(), next_.end()), next_.end());
-    reached_.insert(reached_.end(), next_.begin(), next_.end());
-    if (!next_.empty()) level_end_.push_back(reached_.size());
-    frontier_.swap(next_);
+    std::sort(reached_.begin() + static_cast<std::ptrdiff_t>(lvl_end),
+              reached_.end());
+    if (reached_.size() > lvl_end) level_end_.push_back(reached_.size());
+    lvl_begin = lvl_end;
+    lvl_end = reached_.size();
     ++level;
   }
 }

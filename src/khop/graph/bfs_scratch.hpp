@@ -8,6 +8,19 @@
 /// amortizes the buffers across runs and replaces the O(n) clears with an
 /// epoch bump, so a bounded run costs O(visited + visited edges) only.
 ///
+/// Layout (the million-node rewrite): visited marks are one *byte* per node
+/// (4x less mark traffic than the former uint32 stamps; the 255-epoch wrap
+/// costs one O(n) clear every 255 runs, amortized to O(n/255) per run), and
+/// the level frontiers live directly inside reached_ — each level is a
+/// contiguous [begin, end) span of the flat array, so there is no separate
+/// frontier/next double buffer to copy between. Sparse levels expand
+/// top-down (scan the frontier span, stamp unseen neighbors, sort the
+/// appended tail); dense levels (>= 1/8 of the graph) switch to a bottom-up
+/// scan over all unvisited nodes against a word-packed frontier bitset,
+/// which turns the random scatter of frontier expansion into a sequential
+/// sweep. Both directions produce bit-identical output (see bfs_scratch.cpp
+/// for the argument); reference/bfs_reference.hpp remains the oracle.
+///
 /// Contract:
 ///  * One run at a time: calling any run_* invalidates the previous run's
 ///    query results (the epoch advances).
@@ -89,14 +102,20 @@ class BfsScratch {
   template <typename GraphT>
   void run_any(const GraphT& g, NodeId source, Hops max_hops);
 
-  std::uint32_t epoch_ = 0;
-  std::vector<std::uint32_t> stamp_;  ///< stamp_[v] == epoch_ <=> v visited
+  /// Bottom-up expansion of one dense level: every unvisited node scans its
+  /// (sorted) adjacency for a member of the current frontier, whose
+  /// membership is looked up in the word-packed frontier_bits_ set.
+  template <typename GraphT>
+  void expand_bottom_up(const GraphT& g, std::size_t lvl_begin,
+                        std::size_t lvl_end, Hops level);
+
+  std::uint8_t epoch_ = 0;
+  std::vector<std::uint8_t> stamp_;  ///< stamp_[v] == epoch_ <=> v visited
   std::vector<Hops> dist_;
   std::vector<NodeId> parent_;  ///< parent (single-source) or owner (multi)
-  std::vector<NodeId> reached_;
+  std::vector<NodeId> reached_;  ///< doubles as flat frontier storage
   std::vector<std::size_t> level_end_;  ///< level_end_[d] = #reached at <= d
-  std::vector<NodeId> frontier_;
-  std::vector<NodeId> next_;
+  std::vector<std::uint64_t> frontier_bits_;  ///< dense-level membership set
   NodeId source_ = kInvalidNode;
 };
 

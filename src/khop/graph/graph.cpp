@@ -6,10 +6,32 @@
 
 namespace khop {
 
-Graph::Graph(std::size_t n) : offsets_(n + 1, 0) {}
+namespace {
+
+// Node ids are 32-bit with kInvalidNode reserved as a sentinel, so the id
+// space tops out one short of 2^32. Guard *before* sizing any O(n) array:
+// at the limit offsets_ alone would be a ~34 GB allocation, and a silent
+// 32-bit wrap in later id arithmetic would corrupt results instead of
+// failing loudly. Offsets/degree sums stay in std::size_t, which must be
+// 64-bit for m up to ~10^7 nodes * avg degree (2m entries).
+static_assert(sizeof(std::size_t) >= 8,
+              "CSR offsets require a 64-bit size_t");
+
+void check_node_count(std::size_t n) {
+  KHOP_REQUIRE(n < static_cast<std::size_t>(kInvalidNode),
+               "node count must stay below kInvalidNode (32-bit id space)");
+}
+
+}  // namespace
+
+Graph::Graph(std::size_t n) : offsets_() {
+  check_node_count(n);
+  offsets_.assign(n + 1, 0);
+}
 
 Graph Graph::from_edges(std::size_t n,
                         std::span<const std::pair<NodeId, NodeId>> edges) {
+  check_node_count(n);
   Graph g(n);
   std::vector<std::size_t> deg(n, 0);
   for (const auto& [u, v] : edges) {
@@ -32,6 +54,36 @@ Graph Graph::from_edges(std::size_t n,
     std::sort(begin, end);
     KHOP_REQUIRE(std::adjacent_find(begin, end) == end,
                  "duplicate edge in input");
+  }
+  return g;
+}
+
+Graph Graph::from_csr(std::vector<std::size_t> offsets,
+                      std::vector<NodeId> adjacency) {
+  KHOP_REQUIRE(!offsets.empty(), "CSR offsets must have n+1 entries");
+  const std::size_t n = offsets.size() - 1;
+  check_node_count(n);
+  KHOP_REQUIRE(offsets.front() == 0, "CSR offsets must start at 0");
+  KHOP_REQUIRE(offsets.back() == adjacency.size(),
+               "CSR offsets must end at adjacency.size()");
+  KHOP_REQUIRE(adjacency.size() % 2 == 0,
+               "undirected CSR needs an even adjacency length");
+  for (std::size_t i = 0; i < n; ++i) {
+    KHOP_REQUIRE(offsets[i] <= offsets[i + 1], "CSR offsets must be monotone");
+  }
+  Graph g(n);
+  g.offsets_ = std::move(offsets);
+  g.adjacency_ = std::move(adjacency);
+  for (NodeId u = 0; u < static_cast<NodeId>(n); ++u) {
+    const auto row = g.neighbors(u);
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      const NodeId v = row[j];
+      KHOP_REQUIRE(v < n, "CSR neighbor out of range");
+      KHOP_REQUIRE(v != u, "self-loops are not allowed");
+      KHOP_REQUIRE(j == 0 || row[j - 1] < v,
+                   "CSR rows must be strictly ascending");
+      KHOP_REQUIRE(g.has_edge(v, u), "CSR adjacency must be symmetric");
+    }
   }
   return g;
 }

@@ -26,6 +26,15 @@ class Graph {
   static Graph from_edges(std::size_t n,
                           std::span<const std::pair<NodeId, NodeId>> edges);
 
+  /// Adopts pre-built CSR arrays (the streamed generation path emits these
+  /// directly, skipping the O(m) edge-pair intermediate of from_edges).
+  /// Validates the full Graph invariant before adopting: offsets monotone
+  /// with offsets[0] == 0 and offsets[n] == adjacency.size(), every row
+  /// strictly ascending (catches duplicates), no self-loops, and symmetric
+  /// (v in row(u) iff u in row(v)). Throws InvalidArgument otherwise.
+  static Graph from_csr(std::vector<std::size_t> offsets,
+                        std::vector<NodeId> adjacency);
+
   /// Number of vertices.
   std::size_t num_nodes() const noexcept { return offsets_.size() - 1; }
 

@@ -4,13 +4,19 @@
 #include <cmath>
 
 #include "khop/common/assert.hpp"
+#include "khop/runtime/thread_pool.hpp"
 
 namespace khop {
 
-SpatialGrid::SpatialGrid(const std::vector<Point2>& pts, double radius)
-    : pts_(pts), radius_(radius) {
+SpatialGrid::SpatialGrid(const std::vector<Point2>& pts, double radius) {
+  rebuild(pts, radius);
+}
+
+void SpatialGrid::rebuild(const std::vector<Point2>& pts, double radius) {
   KHOP_REQUIRE(!pts.empty(), "empty point set");
   KHOP_REQUIRE(radius > 0.0, "radius must be positive");
+  pts_ = &pts;
+  radius_ = radius;
 
   double max_x = pts[0].x, max_y = pts[0].y;
   min_x_ = pts[0].x;
@@ -36,10 +42,28 @@ SpatialGrid::SpatialGrid(const std::vector<Point2>& pts, double radius)
   }
   cols_ = static_cast<std::size_t>(span_x / cell_) + 1;
   rows_ = static_cast<std::size_t>(span_y / cell_) + 1;
-  cells_.resize(cols_ * rows_);
-  for (NodeId i = 0; i < pts.size(); ++i) {
-    cells_[cell_index(pts[i].x, pts[i].y)].push_back(i);
+
+  // CSR membership via counting sort. Points are placed in ascending id
+  // order, so each cell's slice is ascending - the order every query
+  // depends on for deterministic output.
+  const std::size_t num_cells = cols_ * rows_;
+  cell_offsets_.assign(num_cells + 1, 0);
+  for (const auto& p : pts) {
+    ++cell_offsets_[cell_index(p.x, p.y) + 1];
   }
+  for (std::size_t c = 0; c < num_cells; ++c) {
+    cell_offsets_[c + 1] += cell_offsets_[c];
+  }
+  cell_ids_.resize(pts.size());
+  for (NodeId i = 0; i < static_cast<NodeId>(pts.size()); ++i) {
+    // cell_offsets_[c] doubles as the placement cursor for cell c ...
+    cell_ids_[cell_offsets_[cell_index(pts[i].x, pts[i].y)]++] = i;
+  }
+  // ... which leaves cell_offsets_[c] == start of cell c+1; shift back.
+  for (std::size_t c = num_cells; c > 0; --c) {
+    cell_offsets_[c] = cell_offsets_[c - 1];
+  }
+  cell_offsets_[0] = 0;
 }
 
 std::size_t SpatialGrid::cell_index(double x, double y) const noexcept {
@@ -52,8 +76,10 @@ std::size_t SpatialGrid::cell_index(double x, double y) const noexcept {
 
 template <typename Visitor>
 void SpatialGrid::for_each_within_radius(NodeId u, Visitor&& visit) const {
-  KHOP_REQUIRE(u < pts_.size(), "node id out of range");
-  const Point2& p = pts_[u];
+  KHOP_REQUIRE(pts_ != nullptr, "SpatialGrid queried before rebuild()");
+  KHOP_REQUIRE(u < pts_->size(), "node id out of range");
+  const std::vector<Point2>& pts = *pts_;
+  const Point2& p = pts[u];
   const double r2 = radius_ * radius_;
 
   const auto cx = static_cast<std::ptrdiff_t>((p.x - min_x_) / cell_);
@@ -66,9 +92,9 @@ void SpatialGrid::for_each_within_radius(NodeId u, Visitor&& visit) const {
           ny >= static_cast<std::ptrdiff_t>(rows_)) {
         continue;
       }
-      for (NodeId v : cells_[static_cast<std::size_t>(ny) * cols_ +
-                             static_cast<std::size_t>(nx)]) {
-        if (v != u && distance_sq(p, pts_[v]) <= r2) visit(v);
+      for (NodeId v : cell_members(static_cast<std::size_t>(ny) * cols_ +
+                                   static_cast<std::size_t>(nx))) {
+        if (v != u && distance_sq(p, pts[v]) <= r2) visit(v);
       }
     }
   }
@@ -76,9 +102,14 @@ void SpatialGrid::for_each_within_radius(NodeId u, Visitor&& visit) const {
 
 std::vector<NodeId> SpatialGrid::within_radius(NodeId u) const {
   std::vector<NodeId> out;
+  within_radius_into(u, out);
+  return out;
+}
+
+void SpatialGrid::within_radius_into(NodeId u, std::vector<NodeId>& out) const {
+  out.clear();
   for_each_within_radius(u, [&out](NodeId v) { out.push_back(v); });
   std::sort(out.begin(), out.end());
-  return out;
 }
 
 std::size_t SpatialGrid::count_within_radius(NodeId u) const {
@@ -86,6 +117,68 @@ std::size_t SpatialGrid::count_within_radius(NodeId u) const {
   for_each_within_radius(u, [&count](NodeId) { ++count; });
   return count;
 }
+
+Graph build_unit_disk_graph(const std::vector<Point2>& pts, double radius) {
+  SpatialGrid grid;
+  return build_unit_disk_graph_streamed(pts, radius, grid);
+}
+
+Graph build_unit_disk_graph_streamed(const std::vector<Point2>& pts,
+                                     double radius, SpatialGrid& grid,
+                                     ThreadPool* pool) {
+  const std::size_t n = pts.size();
+  grid.rebuild(pts, radius);
+
+  // Counting pass: each node's CSR row length is its disk neighborhood
+  // size. The distance predicate is exactly symmetric in IEEE arithmetic
+  // (dx*dx + dy*dy is invariant under operand negation), so per-node rows
+  // reproduce the symmetric adjacency from_edges would build.
+  std::vector<std::size_t> offsets(n + 1, 0);
+  const auto count_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t u = begin; u < end; ++u) {
+      offsets[u + 1] = grid.count_within_radius(static_cast<NodeId>(u));
+    }
+  };
+
+  // Tile partition: contiguous id blocks. Tiles write disjoint slots of
+  // offsets/adjacency, so the "merge" is simply the ascending-id layout of
+  // CSR itself - deterministic for any thread count.
+  const std::size_t num_tiles =
+      pool == nullptr ? 1
+                      : std::min<std::size_t>(pool->num_threads() * 4,
+                                              std::max<std::size_t>(n, 1));
+  const std::size_t tile = (n + num_tiles - 1) / num_tiles;
+  if (pool == nullptr || num_tiles <= 1) {
+    count_range(0, n);
+  } else {
+    parallel_for_throwing(*pool, num_tiles, [&](std::size_t t) {
+      count_range(t * tile, std::min(n, (t + 1) * tile));
+    });
+  }
+  for (std::size_t u = 0; u < n; ++u) offsets[u + 1] += offsets[u];
+
+  std::vector<NodeId> adjacency(offsets[n]);
+  const auto fill_range = [&](std::size_t begin, std::size_t end) {
+    std::vector<NodeId> row;
+    for (std::size_t u = begin; u < end; ++u) {
+      grid.within_radius_into(static_cast<NodeId>(u), row);
+      KHOP_ASSERT(row.size() == offsets[u + 1] - offsets[u],
+                  "streamed build: counting/placement mismatch");
+      std::copy(row.begin(), row.end(),
+                adjacency.begin() + static_cast<std::ptrdiff_t>(offsets[u]));
+    }
+  };
+  if (pool == nullptr || num_tiles <= 1) {
+    fill_range(0, n);
+  } else {
+    parallel_for_throwing(*pool, num_tiles, [&](std::size_t t) {
+      fill_range(t * tile, std::min(n, (t + 1) * tile));
+    });
+  }
+  return Graph::from_csr(std::move(offsets), std::move(adjacency));
+}
+
+namespace reference {
 
 Graph build_unit_disk_graph(const std::vector<Point2>& pts, double radius) {
   SpatialGrid grid(pts, radius);
@@ -97,5 +190,7 @@ Graph build_unit_disk_graph(const std::vector<Point2>& pts, double radius) {
   }
   return Graph::from_edges(pts.size(), edges);
 }
+
+}  // namespace reference
 
 }  // namespace khop

@@ -6,10 +6,16 @@
 #include "khop/geom/placement.hpp"
 #include "khop/graph/components.hpp"
 #include "khop/graph/spatial_grid.hpp"
+#include "khop/runtime/workspace.hpp"
 
 namespace khop {
 
 AdHocNetwork generate_network(const GeneratorConfig& cfg, Rng& rng) {
+  return generate_network(cfg, rng, tls_workspace());
+}
+
+AdHocNetwork generate_network(const GeneratorConfig& cfg, Rng& rng,
+                              Workspace& ws) {
   KHOP_REQUIRE(cfg.num_nodes >= 2, "need at least two nodes");
 
   double radius = 0.0;
@@ -33,7 +39,7 @@ AdHocNetwork generate_network(const GeneratorConfig& cfg, Rng& rng) {
   for (std::size_t attempt = 1; attempt <= cfg.max_placement_attempts;
        ++attempt) {
     net.positions = place_uniform(cfg.num_nodes, cfg.field, rng);
-    net.graph = build_unit_disk_graph(net.positions, radius);
+    net.graph = build_unit_disk_graph_streamed(net.positions, radius, ws.grid);
     net.placement_attempts = attempt;
     if (is_connected(net.graph)) {
       net.connectivity = attempt == 1
@@ -53,7 +59,7 @@ AdHocNetwork generate_network(const GeneratorConfig& cfg, Rng& rng) {
   kept.reserve(lc.original_ids.size());
   for (NodeId old_id : lc.original_ids) kept.push_back(net.positions[old_id]);
   net.positions = std::move(kept);
-  net.graph = build_unit_disk_graph(net.positions, radius);
+  net.graph = build_unit_disk_graph_streamed(net.positions, radius, ws.grid);
   net.connectivity = ConnectivityOutcome::kLargestComponent;
   KHOP_ASSERT(is_connected(net.graph), "LCC extraction must be connected");
   return net;

@@ -34,7 +34,16 @@ struct GeneratorConfig {
   bool allow_lcc_fallback = true;
 };
 
+struct Workspace;
+
 /// Generates a network per \p cfg. Deterministic in (cfg, rng seed).
 AdHocNetwork generate_network(const GeneratorConfig& cfg, Rng& rng);
+
+/// Workspace-backed variant: the unit-disk build streams through ws.grid,
+/// so Monte-Carlo trials of one configuration rebuild the grid in place
+/// instead of re-allocating it per trial. Bit-identical to the plain
+/// overload for the same (cfg, rng state).
+AdHocNetwork generate_network(const GeneratorConfig& cfg, Rng& rng,
+                              Workspace& ws);
 
 }  // namespace khop

@@ -22,6 +22,7 @@
 
 #include "khop/common/types.hpp"
 #include "khop/graph/bfs_scratch.hpp"
+#include "khop/graph/spatial_grid.hpp"
 
 namespace khop {
 
@@ -95,6 +96,9 @@ struct Workspace {
   EpochFlags flags;
   /// General-purpose node id buffer.
   std::vector<NodeId> node_buf;
+  /// Spatial grid reused across topology builds (Monte-Carlo trials of one
+  /// configuration rebuild it in place instead of re-allocating).
+  SpatialGrid grid;
 };
 
 /// Lazily-created workspace owned by the calling thread. Reused across calls

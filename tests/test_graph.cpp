@@ -10,6 +10,7 @@
 #include "khop/graph/metrics.hpp"
 #include "khop/graph/spatial_grid.hpp"
 #include "khop/graph/subgraph.hpp"
+#include "khop/runtime/thread_pool.hpp"
 
 namespace khop {
 namespace {
@@ -155,6 +156,117 @@ TEST(SpatialGrid, CountMatchesListLength) {
   const SpatialGrid grid(pts, 12.0);
   for (NodeId u = 0; u < pts.size(); ++u) {
     EXPECT_EQ(grid.count_within_radius(u), grid.within_radius(u).size());
+  }
+}
+
+TEST(Graph, FromCsrMatchesFromEdges) {
+  Rng rng(81);
+  std::vector<Point2> pts;
+  for (int i = 0; i < 100; ++i) {
+    pts.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+  }
+  const Graph via_edges = reference::build_unit_disk_graph(pts, 15.0);
+  std::vector<std::size_t> offsets(via_edges.num_nodes() + 1, 0);
+  std::vector<NodeId> adjacency;
+  for (NodeId u = 0; u < via_edges.num_nodes(); ++u) {
+    const auto row = via_edges.neighbors(u);
+    adjacency.insert(adjacency.end(), row.begin(), row.end());
+    offsets[u + 1] = adjacency.size();
+  }
+  const Graph via_csr = Graph::from_csr(std::move(offsets),
+                                        std::move(adjacency));
+  EXPECT_EQ(via_csr.num_nodes(), via_edges.num_nodes());
+  EXPECT_EQ(via_csr.num_edges(), via_edges.num_edges());
+  EXPECT_EQ(via_csr.edge_list(), via_edges.edge_list());
+}
+
+TEST(Graph, FromCsrRejectsInvalidInput) {
+  // offsets must be present, anchored, and monotone.
+  EXPECT_THROW(Graph::from_csr({}, {}), InvalidArgument);
+  EXPECT_THROW(Graph::from_csr({1, 2}, {0}), InvalidArgument);
+  EXPECT_THROW(Graph::from_csr({0, 1}, {0, 1}), InvalidArgument);
+  EXPECT_THROW(Graph::from_csr({0, 2, 1, 4}, {1, 2, 0, 0}), InvalidArgument);
+  // Unsorted row / duplicate / self-loop / asymmetry.
+  EXPECT_THROW(Graph::from_csr({0, 2, 3, 4}, {2, 1, 0, 0}), InvalidArgument);
+  EXPECT_THROW(Graph::from_csr({0, 2, 2, 2}, {1, 1}), InvalidArgument);
+  EXPECT_THROW(Graph::from_csr({0, 1, 2}, {0, 1}), InvalidArgument);
+  EXPECT_THROW(Graph::from_csr({0, 1, 2, 3}, {1, 0, 0}), InvalidArgument);
+  // Valid two-node graph passes.
+  const Graph ok = Graph::from_csr({0, 1, 2}, {1, 0});
+  EXPECT_TRUE(ok.has_edge(0, 1));
+}
+
+TEST(Graph, RejectsNodeCountAtIdSpaceLimit) {
+  // n >= kInvalidNode must be rejected *before* any O(n) allocation: at the
+  // limit the offsets array alone would be ~34 GB.
+  const auto too_big = static_cast<std::size_t>(kInvalidNode);
+  EXPECT_THROW(Graph{too_big}, InvalidArgument);
+  EXPECT_THROW(Graph{too_big + 1}, InvalidArgument);
+  EXPECT_THROW(Graph::from_edges(too_big, {}), InvalidArgument);
+  // (from_csr's guard is the same check; materializing a 2^32-entry offsets
+  // vector just to watch it throw would itself allocate 34 GB, so it is not
+  // exercised here.)
+}
+
+TEST(UnitDisk, StreamedBuildMatchesReferenceEdgeListBuild) {
+  Rng rng(83);
+  // Uniform spread, coincident duplicates, and a near-collinear strip: the
+  // streamed CSR path must reproduce the edge-list oracle bit-for-bit.
+  std::vector<std::vector<Point2>> sets;
+  sets.emplace_back();
+  for (int i = 0; i < 300; ++i) {
+    sets.back().push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+  }
+  sets.emplace_back(50, Point2{5.0, 5.0});  // all coincident
+  sets.emplace_back();
+  for (int i = 0; i < 200; ++i) {
+    sets.back().push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 1e-6)});
+  }
+  SpatialGrid grid;  // reused across sets: rebuild() must re-bind cleanly
+  ThreadPool pool(2);
+  for (const auto& pts : sets) {
+    for (const double radius : {0.5, 8.0, 200.0}) {
+      const Graph want = reference::build_unit_disk_graph(pts, radius);
+      const Graph serial = build_unit_disk_graph_streamed(pts, radius, grid);
+      EXPECT_EQ(serial.edge_list(), want.edge_list());
+      EXPECT_EQ(serial.num_nodes(), want.num_nodes());
+      const Graph parallel =
+          build_unit_disk_graph_streamed(pts, radius, grid, &pool);
+      EXPECT_EQ(parallel.edge_list(), want.edge_list());
+      const Graph wrapper = build_unit_disk_graph(pts, radius);
+      EXPECT_EQ(wrapper.edge_list(), want.edge_list());
+    }
+  }
+}
+
+TEST(SpatialGrid, CellCapAndDegenerateRadiiAtLargeN) {
+  // The PR 2 cell-count cap, exercised above 10^4 points: a micro radius
+  // over a 100-unit spread must still allocate O(n) cells and answer
+  // queries correctly.
+  Rng rng(85);
+  std::vector<Point2> pts;
+  const std::size_t n = 20000;
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+  }
+  SpatialGrid grid(pts, 1e-9);
+  EXPECT_LE(grid.num_cells(), 4 * n + 1024);
+  EXPECT_EQ(grid.num_points(), n);
+  for (NodeId u = 0; u < 64; ++u) {
+    EXPECT_EQ(grid.count_within_radius(u), 0u);
+  }
+
+  // Coincident points at scale: everyone sees everyone (one overfull cell).
+  const std::vector<Point2> same(15000, Point2{1.0, 1.0});
+  grid.rebuild(same, 0.5);
+  EXPECT_EQ(grid.count_within_radius(0), same.size() - 1);
+  EXPECT_EQ(grid.count_within_radius(7777), same.size() - 1);
+
+  // A rebuild back to the sparse set matches a fresh grid's answers.
+  grid.rebuild(pts, 2.0);
+  const SpatialGrid fresh(pts, 2.0);
+  for (NodeId u = 0; u < 200; ++u) {
+    EXPECT_EQ(grid.within_radius(u), fresh.within_radius(u));
   }
 }
 

@@ -101,6 +101,51 @@ TEST(WorkspaceEquivalence, AllocatingWrappersMatchReference) {
   EXPECT_EQ(got.owner, want.owner);
 }
 
+TEST(WorkspaceEquivalence, DenseFrontierBottomUpMatchesReference) {
+  // A large radius on the 100x100 field makes the first BFS level hold a
+  // third of the graph, which drives BfsScratch through its bottom-up
+  // (frontier-bitset) expansion path; the reference oracle has no such
+  // switch, so equality here proves the two directions are bit-exact.
+  GeneratorConfig gen;
+  gen.num_nodes = 400;
+  gen.explicit_radius = 45.0;
+  Rng rng(23);
+  const Graph g = generate_network(gen, rng).graph;
+  BfsScratch ws;
+  BfsTree tree;
+  for (NodeId s = 0; s < g.num_nodes(); s += 37) {
+    for (Hops k = 1; k <= 4; ++k) {
+      bfs_bounded_into(g, s, k, ws, tree);
+      expect_tree_eq(tree, reference::bfs_bounded(g, s, k));
+    }
+    bfs_into(g, s, ws, tree);
+    expect_tree_eq(tree, reference::bfs(g, s));
+  }
+}
+
+TEST(WorkspaceEquivalence, ByteEpochStampsSurviveWrap) {
+  // The visited marks are one byte per node, so the epoch wraps (and the
+  // stamp array is bulk-cleared) every 255 runs. Cross the wrap twice, with
+  // a mid-stream graph-size change to exercise stamp growth at a non-zero
+  // epoch, checking every run against the oracle.
+  BfsScratch ws;
+  BfsTree tree;
+  const Graph small = random_topology(60, 5.0, 29);
+  const Graph large = random_topology(150, 6.0, 31);
+  for (int iter = 0; iter < 600; ++iter) {
+    const Graph& g = (iter >= 300 && iter < 420) ? large : small;
+    const NodeId s = static_cast<NodeId>(iter) % g.num_nodes();
+    bfs_bounded_into(g, s, 2, ws, tree);
+    expect_tree_eq(tree, reference::bfs_bounded(g, s, 2));
+  }
+  // Multi-source reuses the same stamps right after the wrap region.
+  MultiSourceBfs got;
+  multi_source_bfs_into(small, {0, 17, 58}, ws, got);
+  const MultiSourceBfs want = reference::multi_source_bfs(small, {0, 17, 58});
+  EXPECT_EQ(got.dist, want.dist);
+  EXPECT_EQ(got.owner, want.owner);
+}
+
 // --- Cluster layer ---------------------------------------------------------
 
 void expect_clustering_eq(const Clustering& got, const Clustering& want) {
