@@ -130,7 +130,7 @@ int main(int argc, char** argv) {
     std::cerr << "churn audit failed: " << audit << "\n";
     return 1;
   }
-  churn.stats().publish();  // totals -> churn.* registry counters
+  churn.publish_stats();  // unpublished delta -> churn.* registry counters
   const ChurnStats& cs = churn.stats();
   std::cout << "churn: " << cs.events << " events, " << cs.orphans
             << " orphans, " << cs.reaffiliations << " reaffiliations, "

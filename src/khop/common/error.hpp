@@ -32,4 +32,11 @@ class NotConnected : public Error {
   using Error::Error;
 };
 
+/// Persisted state (snapshot, write-ahead log, checkpoint) failed a format,
+/// checksum, or continuity check on load.
+class CorruptState : public Error {
+ public:
+  using Error::Error;
+};
+
 }  // namespace khop

@@ -30,23 +30,28 @@ void ChurnStats::note_report(const ChurnEventReport& report) noexcept {
   touched_nodes += report.touched_nodes;
 }
 
-void ChurnStats::publish() const {
+void ChurnStats::publish() {
   obs::Registry& reg = obs::Registry::global();
-  reg.counter("churn.events").add(events);
-  reg.counter("churn.fails").add(fails);
-  reg.counter("churn.joins").add(joins);
-  reg.counter("churn.link_downs").add(link_downs);
-  reg.counter("churn.link_ups").add(link_ups);
-  reg.counter("churn.noop_events").add(noop_events);
-  reg.counter("churn.full_rebuilds").add(full_rebuilds);
-  reg.counter("churn.orphans").add(orphans);
-  reg.counter("churn.reaffiliations").add(reaffiliations);
-  reg.counter("churn.new_heads").add(new_heads);
-  reg.counter("churn.heads_resweeped").add(heads_resweeped);
-  reg.counter("churn.touched_nodes").add(touched_nodes);
-  reg.counter("churn.partitions").add(partitions);
-  reg.counter("churn.merges").add(merges);
-  reg.counter("churn.audits").add(audits);
+  reg.counter("churn.events").add(events - published.events);
+  reg.counter("churn.fails").add(fails - published.fails);
+  reg.counter("churn.joins").add(joins - published.joins);
+  reg.counter("churn.link_downs").add(link_downs - published.link_downs);
+  reg.counter("churn.link_ups").add(link_ups - published.link_ups);
+  reg.counter("churn.noop_events").add(noop_events - published.noop_events);
+  reg.counter("churn.full_rebuilds")
+      .add(full_rebuilds - published.full_rebuilds);
+  reg.counter("churn.orphans").add(orphans - published.orphans);
+  reg.counter("churn.reaffiliations")
+      .add(reaffiliations - published.reaffiliations);
+  reg.counter("churn.new_heads").add(new_heads - published.new_heads);
+  reg.counter("churn.heads_resweeped")
+      .add(heads_resweeped - published.heads_resweeped);
+  reg.counter("churn.touched_nodes")
+      .add(touched_nodes - published.touched_nodes);
+  reg.counter("churn.partitions").add(partitions - published.partitions);
+  reg.counter("churn.merges").add(merges - published.merges);
+  reg.counter("churn.audits").add(audits - published.audits);
+  published = *this;
 }
 
 ChurnEngine::ChurnEngine(const Graph& g0, Hops k, Pipeline pipeline,
@@ -74,6 +79,78 @@ ChurnEngine::ChurnEngine(const Graph& g0, Hops k, Pipeline pipeline,
     sel_[heads_[i]] = sel0.selected[i];
   }
   links_ = VirtualLinkMap::build_bounded(g0, sel0.head_pairs, horizon_, ws_);
+  combine();
+}
+
+ChurnEngine ChurnEngine::restore(ChurnEngineRestore r,
+                                 ChurnEngineOptions opts) {
+  return ChurnEngine(RestoreTag{}, std::move(r), opts);
+}
+
+ChurnEngine::ChurnEngine(RestoreTag, ChurnEngineRestore r,
+                         ChurnEngineOptions opts)
+    : g_(std::move(r.graph)),
+      k_(r.k),
+      horizon_(2 * r.k + 1),
+      pipeline_(r.pipeline),
+      spec_(spec_for(r.pipeline)),
+      opts_(opts),
+      c_(std::move(r.clustering)),
+      links_(std::move(r.links)),
+      num_components_(r.num_components),
+      stats_(r.stats) {
+  KHOP_REQUIRE(k_ >= 1, "k must be at least 1");
+  KHOP_REQUIRE(pipeline_ != Pipeline::kGmst,
+               "a global MST has no local repair scope; use an NC/AC pipeline");
+  const std::size_t cap = g_.capacity();
+  KHOP_REQUIRE(c_.head_of.size() == cap && c_.dist_to_head.size() == cap,
+               "restored clustering does not cover the id space");
+  c_.k = k_;
+  c_.cluster_of.clear();  // not maintained under churn; never persisted
+  c_.election_rounds = 0;
+
+  // Per-node sanity against the restored topology, then rebuild the member
+  // lists (ascending id order; the engine's public behavior never depends on
+  // member list order, see repair_* in this file).
+  member_pos_.assign(cap, 0);
+  for (NodeId v = 0; v < cap; ++v) {
+    if (!g_.alive(v)) {
+      KHOP_REQUIRE(c_.head_of[v] == kInvalidNode &&
+                       c_.dist_to_head[v] == kUnreachable,
+                   "restored dead node retains clustering state");
+      continue;
+    }
+    const NodeId h = c_.head_of[v];
+    KHOP_REQUIRE(h < cap && g_.alive(h) && c_.head_of[h] == h,
+                 "restored node affiliated to a non-head");
+    KHOP_REQUIRE(c_.dist_to_head[v] <= k_ && ((h == v) == (c_.dist_to_head[v] == 0)),
+                 "restored head distance out of range");
+    auto& list = members_[h];
+    member_pos_[v] = static_cast<std::uint32_t>(list.size());
+    list.push_back(v);
+  }
+
+  heads_.clear();
+  for (NodeId v = 0; v < cap; ++v) {
+    if (g_.alive(v) && c_.head_of[v] == v) heads_.push_back(v);
+  }
+  KHOP_REQUIRE(c_.heads == heads_, "restored head list out of sync");
+
+  // Selections are symmetric and the link store holds exactly the selected
+  // pairs (smaller endpoint first), so sel_ is fully derivable: every head
+  // gets an entry (possibly empty), each link feeds both endpoints.
+  for (NodeId h : heads_) sel_[h];
+  for (const VirtualLink& l : links_.all()) {
+    KHOP_REQUIRE(l.u < l.v, "restored virtual link endpoints unordered");
+    const auto iu = sel_.find(l.u);
+    const auto iv = sel_.find(l.v);
+    KHOP_REQUIRE(iu != sel_.end() && iv != sel_.end(),
+                 "restored virtual link endpoint is not a live head");
+    iu->second.push_back(l.v);
+    iv->second.push_back(l.u);
+  }
+  for (auto& [h, list] : sel_) std::sort(list.begin(), list.end());
+
   combine();
 }
 

@@ -74,9 +74,11 @@ struct ChurnEventReport {
   int component_delta = 0;
 };
 
-/// Cumulative engine counters. full_rebuilds stays 0 by construction: no
-/// event path recomputes the clustering or backbone from scratch.
-struct ChurnStats {
+/// The raw cumulative counter block, separated from ChurnStats so the
+/// publish watermark below can hold a second copy of exactly these fields.
+/// full_rebuilds stays 0 by construction: no event path recomputes the
+/// clustering or backbone from scratch.
+struct ChurnCounters {
   std::size_t events = 0;
   std::size_t fails = 0;
   std::size_t joins = 0;
@@ -93,6 +95,14 @@ struct ChurnStats {
   std::size_t partitions = 0;     ///< component-count increases observed
   std::size_t merges = 0;         ///< component-count decreases via join/link
   std::size_t audits = 0;
+};
+
+/// Cumulative engine counters plus the registry-publication watermark.
+struct ChurnStats : ChurnCounters {
+  /// Counter values as of the last publish(). Persisted in snapshots, so an
+  /// engine restored after a crash publishes only the delta it has not yet
+  /// exported — restart never double-counts into the global registry.
+  ChurnCounters published;
 
   /// Counts one incoming event of \p type (the single accounting point for
   /// the per-type counters; called before any state mutation).
@@ -101,13 +111,32 @@ struct ChurnStats {
   /// Folds one event's repair summary into the cumulative counters.
   void note_report(const ChurnEventReport& report) noexcept;
 
-  /// Adds these cumulative totals to the global obs::Registry under the
-  /// `churn.*` metric names (see docs/observability.md). The struct stays
-  /// the per-engine view; the registry is the queryable cross-engine store.
-  /// Totals-add semantics: call once per engine, at export time. (Per-event
+  /// Adds the delta since the last publish() to the global obs::Registry
+  /// under the `churn.*` metric names (see docs/observability.md), then
+  /// advances the watermark. The struct stays the per-engine view; the
+  /// registry is the queryable cross-engine store. Idempotent at a quiescent
+  /// point: publishing twice adds nothing the second time. (Per-event
   /// distributions — repair locality, resweep breadth — are recorded live
   /// by apply() as `churn.*` histograms when telemetry is enabled.)
-  void publish() const;
+  void publish();
+};
+
+/// Everything a snapshot must persist to reincarnate a ChurnEngine
+/// bit-exactly (see ChurnEngine::restore). Derived structures — member
+/// lists, per-head selections, the backbone — are deliberately absent:
+/// restore() rebuilds them deterministically from these, which keeps the
+/// snapshot format minimal and makes "snapshot captured everything" a
+/// checkable property instead of a convention.
+struct ChurnEngineRestore {
+  DynamicGraph graph;
+  Hops k = 1;
+  Pipeline pipeline = Pipeline::kAcLmst;
+  /// heads / head_of / dist_to_head are authoritative; cluster_of and
+  /// election_rounds are not maintained under churn and are restored empty.
+  Clustering clustering;
+  VirtualLinkMap links;
+  std::size_t num_components = 1;
+  ChurnStats stats;
 };
 
 class ChurnEngine {
@@ -118,6 +147,16 @@ class ChurnEngine {
   /// heads has no local repair scope, so it is not maintainable here)
   ChurnEngine(const Graph& g0, Hops k, Pipeline pipeline,
               ChurnEngineOptions opts = {});
+
+  /// Reincarnates an engine from persisted state: adopts the topology,
+  /// clustering and virtual links verbatim, then deterministically rebuilds
+  /// every derived structure (member lists, per-head selections from the
+  /// symmetric link set, the combined backbone). Validates the clustering
+  /// against the restored topology (sizes, strict-ascending live heads,
+  /// per-node head/distance sanity) and throws InvalidArgument on any
+  /// violation, so corrupt persisted state cannot become a live engine.
+  static ChurnEngine restore(ChurnEngineRestore r,
+                             ChurnEngineOptions opts = {});
 
   /// Applies one topology event and repairs clustering + backbone.
   ChurnEventReport apply(const ChurnEvent& e);
@@ -145,7 +184,18 @@ class ChurnEngine {
   std::size_t num_components() const noexcept { return num_components_; }
   const ChurnStats& stats() const noexcept { return stats_; }
 
+  /// The maintained canonical-path store (exactly the selected head pairs).
+  /// Persisted by snapshots; restore() derives the per-head selections back
+  /// out of it.
+  const VirtualLinkMap& virtual_links() const noexcept { return links_; }
+
+  /// stats().publish() through the mutable engine (the watermark advances).
+  void publish_stats() { stats_.publish(); }
+
  private:
+  struct RestoreTag {};
+  ChurnEngine(RestoreTag, ChurnEngineRestore r, ChurnEngineOptions opts);
+
   bool is_live_head(NodeId v) const {
     return g_.alive(v) && c_.head_of[v] == v;
   }

@@ -1,0 +1,94 @@
+/// \file binio.hpp
+/// Little-endian fixed-width binary encode/decode over in-memory buffers —
+/// the byte-level vocabulary shared by the snapshot and write-ahead-log
+/// formats. Explicit byte shuffling (never memcpy of structs) keeps the
+/// on-disk layout platform-independent, so a snapshot written on one machine
+/// loads bit-identically on any other.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "khop/common/error.hpp"
+
+namespace khop::persist {
+
+/// Appends fixed-width little-endian values to an owned byte buffer.
+class ByteWriter {
+ public:
+  void put_u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+  void put_u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) put_u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void put_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) put_u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void put_bytes(std::string_view bytes) { buf_.append(bytes); }
+
+  const std::string& bytes() const noexcept { return buf_; }
+  std::string take() && { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Reads fixed-width little-endian values from a byte range, throwing
+/// CorruptState on any out-of-bounds read (truncated input).
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : data_(bytes) {}
+
+  std::uint8_t get_u8() {
+    require(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  std::uint32_t get_u32() {
+    require(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data_[pos_++]))
+           << (8 * i);
+    }
+    return v;
+  }
+
+  std::uint64_t get_u64() {
+    require(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data_[pos_++]))
+           << (8 * i);
+    }
+    return v;
+  }
+
+  std::string_view get_bytes(std::size_t n) {
+    require(n);
+    const std::string_view out = data_.substr(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool at_end() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  void require(std::size_t n) const {
+    if (data_.size() - pos_ < n) {
+      throw CorruptState("persist: truncated payload (wanted " +
+                         std::to_string(n) + " bytes, " +
+                         std::to_string(data_.size() - pos_) + " left)");
+    }
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace khop::persist

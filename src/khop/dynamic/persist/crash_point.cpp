@@ -1,0 +1,33 @@
+#include "khop/dynamic/persist/crash_point.hpp"
+
+namespace khop::persist {
+
+CrashPoints& CrashPoints::global() {
+  static CrashPoints instance;
+  return instance;
+}
+
+void CrashPoints::arm(std::string_view point, std::uint64_t countdown) {
+  std::lock_guard<std::mutex> lk(mu_);
+  point_.assign(point);
+  countdown_ = countdown == 0 ? 1 : countdown;
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void CrashPoints::disarm() {
+  std::lock_guard<std::mutex> lk(mu_);
+  point_.clear();
+  countdown_ = 0;
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+bool CrashPoints::fires(const char* point) {
+  if (!armed_.load(std::memory_order_relaxed)) return false;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (countdown_ == 0 || point_ != point) return false;
+  if (--countdown_ > 0) return false;
+  armed_.store(false, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace khop::persist

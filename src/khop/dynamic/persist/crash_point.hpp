@@ -1,0 +1,80 @@
+/// \file crash_point.hpp
+/// Fault-injection hooks for the persistence path.
+///
+/// Every interesting point of the snapshot/WAL machinery is named and
+/// instrumented: arming a point makes its N-th subsequent hit throw
+/// CrashInjected, which unwinds the whole stack exactly like a process
+/// crash would (buffered-but-unflushed WAL bytes are abandoned, torn files
+/// are left behind). The crash-recovery property test sweeps every named
+/// point and proves recovery re-converges bit-exact from each; the registry
+/// is process-global because the persistence path is serial by contract.
+///
+/// Disarmed cost: one relaxed atomic load per hit site — the production
+/// path never pays for the harness.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "khop/common/error.hpp"
+
+namespace khop::persist {
+
+/// Thrown by an armed crash point. Derived from khop::Error but caught
+/// nowhere inside the library except to abandon buffered WAL state — it
+/// must reach the harness.
+class CrashInjected : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Every instrumented point, in path order. The property test iterates this
+/// list; keep it in sync with the fires()/hit() sites in wal.cpp/store.cpp
+/// (docs/robustness.md documents what on-disk state each one leaves).
+inline constexpr const char* kCrashPointNames[] = {
+    "wal.append",              // before a record is buffered (event lost)
+    "wal.torn",                // half a record reaches the file, then crash
+    "wal.flush",               // buffered records dropped at a flush boundary
+    "snapshot.begin",          // before the tmp file is opened
+    "snapshot.torn",           // tmp file half-written, then crash
+    "snapshot.after_tmp",      // tmp complete, rename never happens
+    "snapshot.after_rename",   // snapshot live, WAL not yet rotated
+    "snapshot.after_rotate",   // new WAL segment live, old files not retired
+};
+
+/// Process-global arm/fire state for the named crash points.
+class CrashPoints {
+ public:
+  static CrashPoints& global();
+
+  /// Arms \p point: the \p countdown-th subsequent fires()/hit() of that
+  /// point throws/returns true (countdown >= 1). Re-arming replaces any
+  /// previous arming.
+  void arm(std::string_view point, std::uint64_t countdown = 1);
+
+  void disarm();
+
+  bool armed() const noexcept {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  /// True when \p point is armed and its countdown just expired (the caller
+  /// crashes after site-specific tearing). Decrements the countdown.
+  bool fires(const char* point);
+
+  /// fires() + throw CrashInjected — the plain (non-tearing) sites.
+  void hit(const char* point) {
+    if (fires(point)) throw CrashInjected(std::string("crash injected at ") + point);
+  }
+
+ private:
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mu_;
+  std::string point_;
+  std::uint64_t countdown_ = 0;
+};
+
+}  // namespace khop::persist

@@ -1,0 +1,59 @@
+#include "khop/dynamic/persist/crc32c.hpp"
+
+#include <array>
+
+namespace khop::persist {
+
+namespace {
+
+/// Reflected Castagnoli polynomial.
+constexpr std::uint32_t kPoly = 0x82F63B78u;
+
+struct Tables {
+  std::uint32_t t[8][256];
+};
+
+constexpr Tables make_tables() {
+  Tables tb{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (c >> 1) ^ kPoly : c >> 1;
+    }
+    tb.t[0][i] = c;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    for (int s = 1; s < 8; ++s) {
+      tb.t[s][i] = (tb.t[s - 1][i] >> 8) ^ tb.t[0][tb.t[s - 1][i] & 0xFFu];
+    }
+  }
+  return tb;
+}
+
+constexpr Tables kTables = make_tables();
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t len) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~0u;
+  while (len >= 8) {
+    // Slice-by-8: fold eight bytes per step through the eight tables.
+    const std::uint32_t lo = crc ^ (static_cast<std::uint32_t>(p[0]) |
+                                    static_cast<std::uint32_t>(p[1]) << 8 |
+                                    static_cast<std::uint32_t>(p[2]) << 16 |
+                                    static_cast<std::uint32_t>(p[3]) << 24);
+    crc = kTables.t[7][lo & 0xFFu] ^ kTables.t[6][(lo >> 8) & 0xFFu] ^
+          kTables.t[5][(lo >> 16) & 0xFFu] ^ kTables.t[4][lo >> 24] ^
+          kTables.t[3][p[4]] ^ kTables.t[2][p[5]] ^ kTables.t[1][p[6]] ^
+          kTables.t[0][p[7]];
+    p += 8;
+    len -= 8;
+  }
+  while (len-- > 0) {
+    crc = (crc >> 8) ^ kTables.t[0][(crc ^ *p++) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace khop::persist

@@ -1,0 +1,66 @@
+/// \file snapshot.hpp
+/// Versioned, checksummed binary snapshot of the full live churn-engine
+/// state. Together with the WAL tail (wal.hpp) a snapshot makes maintenance
+/// crash-recoverable: load the newest valid snapshot, replay the events
+/// after its cursor, and the result is bit-identical to an engine that
+/// never crashed (tests/test_crash_recovery.cpp proves this from every
+/// injected crash point).
+///
+/// On-disk layout (little-endian fixed-width throughout; no floats, so a
+/// fixture written on one platform is bit-identical everywhere):
+///
+///   "KHOPSNP1"                                        file magic + version
+///   section*   u32 tag | u64 len | payload | u32 crc32c(payload)
+///
+/// Sections appear in this exact order, every one mandatory:
+///
+///   1 meta        u64 cursor | u64 capacity | u32 k | u8 pipeline |
+///                 u64 num_components
+///   2 graph       capacity * (u8 alive | u32 deg | u32 nbr_ids...)
+///   3 clustering  u32 head_count | u32 head_ids... |
+///                 capacity * u32 head_of | capacity * u32 dist_to_head
+///   4 stats       15 * u64 cumulative | 15 * u64 published watermark
+///                 (field order of ChurnCounters)
+///   5 links       u32 link_count | per link: u32 u | u32 v | u32 hops |
+///                 u32 path_len | u32 path_ids...
+///   0 end         len 0 (closes the file; trailing bytes are corruption)
+///
+/// Decoding rejects — with CorruptState — bad magic, out-of-order or
+/// missing sections, any checksum mismatch, truncation anywhere, and
+/// trailing garbage after the end section. Structural validation of the
+/// decoded state (liveness/affiliation/head-set consistency) happens in
+/// DynamicGraph::from_state and ChurnEngine::restore, so corrupt bytes can
+/// never become a live engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "khop/dynamic/churn_engine.hpp"
+
+namespace khop::persist {
+
+inline constexpr std::string_view kSnapshotMagic = "KHOPSNP1";
+
+/// Decoded snapshot: the engine state plus the trace cursor (count of
+/// events applied when it was taken) that names the WAL segment
+/// continuing it.
+struct SnapshotData {
+  ChurnEngineRestore state;
+  std::uint64_t cursor = 0;
+};
+
+/// Serializes \p engine's full live state at trace cursor \p cursor.
+std::string encode_snapshot(const ChurnEngine& engine, std::uint64_t cursor);
+
+/// Parses and checksum-verifies snapshot bytes. Throws CorruptState on any
+/// format violation (see file header) and InvalidArgument when the bytes
+/// parse but describe structurally inconsistent state.
+SnapshotData decode_snapshot(std::string_view bytes);
+
+/// Reads + decodes a snapshot file. Throws CorruptState if the file cannot
+/// be read, plus everything decode_snapshot throws.
+SnapshotData load_snapshot_file(const std::string& path);
+
+}  // namespace khop::persist

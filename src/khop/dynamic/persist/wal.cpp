@@ -1,0 +1,203 @@
+#include "khop/dynamic/persist/wal.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "khop/common/error.hpp"
+#include "khop/dynamic/persist/binio.hpp"
+#include "khop/dynamic/persist/crash_point.hpp"
+#include "khop/dynamic/persist/crc32c.hpp"
+#include "khop/obs/metrics.hpp"
+
+namespace khop::persist {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 8 + 8 + 4;  // magic, cursor, crc
+
+std::string read_whole_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw CorruptState("wal: cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return std::move(ss).str();
+}
+
+}  // namespace
+
+std::string encode_wal_record(const ChurnEvent& e) {
+  ByteWriter w;
+  w.put_u8(static_cast<std::uint8_t>(e.type));
+  w.put_u32(e.a);
+  w.put_u32(e.b);
+  w.put_u32(static_cast<std::uint32_t>(e.neighbors.size()));
+  for (NodeId v : e.neighbors) w.put_u32(v);
+  return std::move(w).take();
+}
+
+ChurnEvent decode_wal_record(std::string_view payload) {
+  ByteReader r(payload);
+  ChurnEvent e;
+  const std::uint8_t type = r.get_u8();
+  if (type > static_cast<std::uint8_t>(ChurnEventType::kLinkUp)) {
+    throw CorruptState("wal: unknown event type " + std::to_string(type));
+  }
+  e.type = static_cast<ChurnEventType>(type);
+  e.a = r.get_u32();
+  e.b = r.get_u32();
+  const std::uint32_t count = r.get_u32();
+  if (r.remaining() != std::size_t{count} * 4) {
+    throw CorruptState("wal: neighbor count " + std::to_string(count) +
+                       " does not match payload size");
+  }
+  e.neighbors.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) e.neighbors.push_back(r.get_u32());
+  return e;
+}
+
+WalSegment read_wal_file(const std::string& path,
+                         std::uint64_t expected_start) {
+  const std::string bytes = read_whole_file(path);
+  WalSegment seg;
+  seg.start = expected_start;
+
+  if (bytes.size() < kHeaderBytes ||
+      std::string_view(bytes).substr(0, 8) != kWalMagic) {
+    seg.clean = false;
+    seg.why = "damaged header (magic/size)";
+    return seg;
+  }
+  ByteReader hdr(std::string_view(bytes).substr(8, 12));
+  const std::uint64_t start = hdr.get_u64();
+  const std::uint32_t hdr_crc = hdr.get_u32();
+  if (crc32c(bytes.data() + 8, 8) != hdr_crc) {
+    seg.clean = false;
+    seg.why = "damaged header (checksum)";
+    return seg;
+  }
+  if (start != expected_start) {
+    seg.clean = false;
+    seg.why = "header cursor " + std::to_string(start) +
+              " disagrees with file name cursor " +
+              std::to_string(expected_start);
+    return seg;
+  }
+
+  std::size_t pos = kHeaderBytes;
+  seg.valid_bytes = pos;
+  const std::string_view all(bytes);
+  while (bytes.size() - pos >= 8) {
+    ByteReader frame(all.substr(pos, 8));
+    const std::uint32_t len = frame.get_u32();
+    const std::uint32_t rec_crc = frame.get_u32();
+    if (bytes.size() - pos - 8 < len) {
+      seg.clean = false;
+      seg.why = "torn record at offset " + std::to_string(pos);
+      return seg;
+    }
+    const std::string_view payload = all.substr(pos + 8, len);
+    if (crc32c(payload) != rec_crc) {
+      seg.clean = false;
+      seg.why = "record checksum mismatch at offset " + std::to_string(pos);
+      return seg;
+    }
+    try {
+      seg.events.push_back(decode_wal_record(payload));
+    } catch (const CorruptState& e) {
+      // CRC-valid but structurally malformed: genuine corruption, keep the
+      // prefix and let recovery decide whether the chain still closes.
+      seg.clean = false;
+      seg.why = std::string("malformed record at offset ") +
+                std::to_string(pos) + ": " + e.what();
+      return seg;
+    }
+    pos += 8 + len;
+    seg.valid_bytes = pos;
+  }
+  if (pos != bytes.size()) {
+    seg.clean = false;
+    seg.why = "torn record header at offset " + std::to_string(pos);
+  }
+  return seg;
+}
+
+WalWriter WalWriter::create(const std::string& path,
+                            std::uint64_t start_cursor,
+                            std::size_t flush_every) {
+  WalWriter w;
+  w.out_.open(path, std::ios::binary | std::ios::trunc);
+  if (!w.out_) throw Error("wal: cannot create " + path);
+  w.path_ = path;
+  w.flush_every_ = flush_every == 0 ? 1 : flush_every;
+  obs::Registry& reg = obs::Registry::global();
+  w.wal_appends_ = &reg.counter("persist.wal_appends");
+  w.wal_flushes_ = &reg.counter("persist.wal_flushes");
+  w.wal_bytes_ = &reg.counter("persist.wal_bytes");
+
+  ByteWriter hdr;
+  hdr.put_bytes(kWalMagic);
+  hdr.put_u64(start_cursor);
+  hdr.put_u32(crc32c(hdr.bytes().data() + 8, 8));
+  w.out_.write(hdr.bytes().data(),
+               static_cast<std::streamsize>(hdr.bytes().size()));
+  w.out_.flush();
+  if (!w.out_) throw Error("wal: write failed for " + path);
+  w.wal_bytes_->add(hdr.bytes().size());
+  return w;
+}
+
+void WalWriter::append(const ChurnEvent& e) {
+  CrashPoints& cp = CrashPoints::global();
+  cp.hit("wal.append");
+
+  const std::string payload = encode_wal_record(e);
+  ByteWriter frame;
+  frame.put_u32(static_cast<std::uint32_t>(payload.size()));
+  frame.put_u32(crc32c(payload));
+  frame.put_bytes(payload);
+
+  if (cp.fires("wal.torn")) {
+    // Crash mid-write of a flush that included this record: everything
+    // buffered so far reaches the file, plus half of this record's frame.
+    pending_.append(frame.bytes(), 0, frame.bytes().size() / 2 + 1);
+    out_.write(pending_.data(), static_cast<std::streamsize>(pending_.size()));
+    out_.flush();
+    pending_.clear();
+    pending_records_ = 0;
+    throw CrashInjected("crash injected at wal.torn");
+  }
+
+  pending_.append(frame.bytes());
+  ++pending_records_;
+  ++appended_;
+  if (wal_appends_ != nullptr) wal_appends_->inc();
+  if (pending_records_ >= flush_every_) {
+    cp.hit("wal.flush");  // crash here loses the whole pending batch
+    flush();
+  }
+}
+
+void WalWriter::flush() {
+  if (pending_.empty()) return;
+  out_.write(pending_.data(), static_cast<std::streamsize>(pending_.size()));
+  out_.flush();
+  if (!out_) throw Error("wal: write failed for " + path_);
+  if (wal_bytes_ != nullptr) wal_bytes_->add(pending_.size());
+  if (wal_flushes_ != nullptr) wal_flushes_->inc();
+  pending_.clear();
+  pending_records_ = 0;
+}
+
+void WalWriter::close() {
+  if (!out_.is_open()) return;
+  flush();
+  out_.close();
+}
+
+void WalWriter::abandon() {
+  pending_.clear();
+  pending_records_ = 0;
+  if (out_.is_open()) out_.close();
+}
+
+}  // namespace khop::persist

@@ -1,0 +1,114 @@
+/// \file wal.hpp
+/// Write-ahead event log for the churn engine.
+///
+/// One WAL *segment* file covers a contiguous run of trace events starting
+/// at a fixed cursor (event index). The durable engine appends every
+/// ChurnEvent to the active segment *before* applying it, so after a crash
+/// the events since the last snapshot can be replayed; a new segment is
+/// started (rotated) at every snapshot, and the snapshot's cursor names the
+/// segment that continues it (`wal-<cursor>.khwal`).
+///
+/// On-disk layout (little-endian throughout):
+///
+///   header   "KHOPWAL1" | u64 start_cursor | u32 crc32c(start_cursor bytes)
+///   record*  u32 payload_len | u32 crc32c(payload) | payload
+///   payload  u8 type | u32 a | u32 b | u32 nbr_count | u32 nbr_ids...
+///
+/// Torn-tail tolerance: a reader keeps the longest valid record prefix and
+/// reports the tail as dirty — a crash mid-write loses at most the records
+/// that had not fully reached the file, never previously durable ones. A
+/// segment whose header is damaged is treated as dirty-and-empty.
+///
+/// Durability contract: append() buffers; records only survive a crash once
+/// flush() ran (automatic every `flush_every` appends). abandon() models the
+/// crash itself — it drops the buffered bytes instead of letting the stream
+/// destructor quietly flush them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "khop/dynamic/churn_trace.hpp"
+
+namespace khop::obs {
+class Counter;
+}
+
+namespace khop::persist {
+
+inline constexpr std::string_view kWalMagic = "KHOPWAL1";
+
+/// Parsed contents of one segment file.
+struct WalSegment {
+  std::uint64_t start = 0;         ///< cursor of the first record
+  std::vector<ChurnEvent> events;  ///< longest valid record prefix
+  bool clean = true;               ///< false: torn tail or damaged header
+  std::string why;                 ///< reason when !clean
+  std::size_t valid_bytes = 0;     ///< file prefix covered by valid records
+};
+
+/// Encodes one event as a WAL record payload (exposed for tests and for the
+/// fixture validator's documentation).
+std::string encode_wal_record(const ChurnEvent& e);
+
+/// Decodes a record payload. Throws CorruptState on malformed bytes.
+ChurnEvent decode_wal_record(std::string_view payload);
+
+/// Reads a segment file, tolerating a torn tail (see file header).
+/// \p expected_start is the cursor implied by the file name; a readable
+/// header that disagrees marks the segment dirty-and-empty rather than
+/// trusting either number. Throws CorruptState only if the file cannot be
+/// opened at all.
+WalSegment read_wal_file(const std::string& path, std::uint64_t expected_start);
+
+/// Append-side handle for the active segment. Instrumented with the
+/// "wal.append" / "wal.torn" / "wal.flush" crash points (crash_point.hpp).
+class WalWriter {
+ public:
+  WalWriter() = default;
+  WalWriter(WalWriter&&) = default;
+  WalWriter& operator=(WalWriter&&) = default;
+
+  /// Creates (truncates) \p path with a segment header for \p start_cursor.
+  /// The header is flushed immediately. flush_every = 1 makes every append
+  /// durable; larger values batch.
+  static WalWriter create(const std::string& path, std::uint64_t start_cursor,
+                          std::size_t flush_every);
+
+  /// Buffers one record; flushes when flush_every records are pending.
+  void append(const ChurnEvent& e);
+
+  /// Writes buffered records to the file and flushes the stream.
+  void flush();
+
+  /// flush() + close the stream.
+  void close();
+
+  /// Crash simulation: drops buffered records WITHOUT writing them and
+  /// closes the stream, so an in-process "crash" actually loses unflushed
+  /// appends (a destructor-flushed stream would defeat the model).
+  void abandon();
+
+  bool is_open() const noexcept { return out_.is_open(); }
+  const std::string& path() const noexcept { return path_; }
+
+  /// Records appended so far, including still-buffered ones.
+  std::uint64_t appended() const noexcept { return appended_; }
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+  std::string pending_;          ///< framed records not yet written
+  std::size_t pending_records_ = 0;
+  std::size_t flush_every_ = 1;
+  std::uint64_t appended_ = 0;
+  obs::Counter* wal_appends_ = nullptr;
+  obs::Counter* wal_flushes_ = nullptr;
+  obs::Counter* wal_bytes_ = nullptr;
+};
+
+}  // namespace khop::persist

@@ -38,6 +38,25 @@ DynamicGraph::DynamicGraph(const Graph& g)
   }
 }
 
+DynamicGraph DynamicGraph::from_state(std::vector<std::vector<NodeId>> adj,
+                                      std::vector<char> alive) {
+  KHOP_REQUIRE(adj.size() == alive.size(),
+               "adjacency and liveness mask sizes differ");
+  DynamicGraph g;
+  g.adj_ = std::move(adj);
+  g.alive_ = std::move(alive);
+  std::size_t endpoints = 0;
+  for (NodeId u = 0; u < g.adj_.size(); ++u) {
+    if (g.alive_[u]) ++g.num_alive_;
+    endpoints += g.adj_[u].size();
+  }
+  KHOP_REQUIRE(endpoints % 2 == 0, "odd adjacency endpoint count");
+  g.num_edges_ = endpoints / 2;
+  const std::string s = g.check_consistency();
+  KHOP_REQUIRE(s.empty(), "restored graph is inconsistent: " + s);
+  return g;
+}
+
 bool DynamicGraph::alive(NodeId u) const {
   check_node(u);
   return alive_[u] != 0;

@@ -33,6 +33,14 @@ class DynamicGraph {
   /// Starts from \p g with every node alive.
   explicit DynamicGraph(const Graph& g);
 
+  /// Reassembles a graph from externally held state (snapshot restore):
+  /// one sorted neighbor list per node plus the liveness mask. Validates the
+  /// full structural invariant set via check_consistency and throws
+  /// InvalidArgument on any violation, so corrupt persisted state can never
+  /// become a live graph.
+  static DynamicGraph from_state(std::vector<std::vector<NodeId>> adj,
+                                 std::vector<char> alive);
+
   /// Size of the id space (alive + dead nodes). Named num_nodes so the BFS
   /// kernels can treat Graph and DynamicGraph uniformly.
   std::size_t num_nodes() const noexcept { return adj_.size(); }
@@ -80,6 +88,8 @@ class DynamicGraph {
   std::string check_consistency() const;
 
  private:
+  DynamicGraph() = default;  ///< from_state assembles the members directly
+
   std::vector<std::vector<NodeId>> adj_;  ///< sorted; empty for dead nodes
   std::vector<char> alive_;
   std::size_t num_alive_ = 0;

@@ -3,6 +3,15 @@
 /// saved to / restored from a plain-text stream, so long-running dynamics
 /// experiments can snapshot and resume, and results can be diffed across
 /// library versions.
+///
+/// Two format versions exist. v1 is the legacy plain format; v2 (what the
+/// writers emit) appends a `crc32c <hex>` trailer line whose checksum
+/// covers every body byte after the header line, so bit rot in an archived
+/// checkpoint is detected instead of silently parsed. The readers accept
+/// both. A stream holds exactly ONE document: readers reject trailing
+/// bytes, duplicate/unsorted id lists, out-of-range ids and distances, and
+/// report every error as InvalidArgument with the 1-based line number of
+/// the offending token.
 #pragma once
 
 #include <iosfwd>
@@ -12,20 +21,20 @@
 
 namespace khop {
 
-/// Writes "khop-clustering v1" followed by k, heads, and per-node
-/// (head_of, dist_to_head) rows.
+/// Writes "khop-clustering v2": k, rounds, node count, heads, per-node
+/// (head_of, dist_to_head) rows, and the checksum trailer.
 void write_clustering(std::ostream& os, const Clustering& c);
 
-/// Reads the write_clustering format; reconstructs cluster_of.
-/// Throws InvalidArgument on malformed input.
+/// Reads the write_clustering format (v1 or v2); reconstructs cluster_of.
+/// Throws InvalidArgument on malformed input (see file header).
 Clustering read_clustering(std::istream& is);
 
-/// Writes "khop-backbone v1" followed by pipeline/spec, heads, gateways,
-/// and virtual links.
+/// Writes "khop-backbone v2": pipeline/spec, heads, gateways, virtual
+/// links, and the checksum trailer.
 void write_backbone(std::ostream& os, const Backbone& b);
 
-/// Reads the write_backbone format.
-/// Throws InvalidArgument on malformed input.
+/// Reads the write_backbone format (v1 or v2).
+/// Throws InvalidArgument on malformed input (see file header).
 Backbone read_backbone(std::istream& is);
 
 }  // namespace khop

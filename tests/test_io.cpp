@@ -130,6 +130,98 @@ TEST(IoState, RejectsMalformedState) {
   EXPECT_THROW(read_backbone(bad_backbone), InvalidArgument);
 }
 
+// Exercises a parse error and checks the message carries the document name
+// and the 1-based line number of the offending token.
+TEST(IoState, ErrorsReportLineNumbers) {
+  std::istringstream nonhead(
+      "khop-clustering v1\nk 2\nrounds 1\nnodes 2\nheads 1 0\n0 0\n1 5\n");
+  try {
+    read_clustering(nonhead);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("clustering: line 7"), std::string::npos) << what;
+  }
+}
+
+TEST(IoState, RejectsTrailingGarbage) {
+  const Fixture f(1607);
+  std::ostringstream os;
+  write_clustering(os, f.clustering);
+  std::istringstream with_tail(os.str() + "extra\n");
+  EXPECT_THROW(read_clustering(with_tail), InvalidArgument);
+
+  std::ostringstream bs;
+  write_backbone(bs, f.backbone);
+  std::istringstream btail(bs.str() + "0\n");
+  EXPECT_THROW(read_backbone(btail), InvalidArgument);
+}
+
+TEST(IoState, RejectsDuplicateHeads) {
+  // heads list "0 0" repeats an id; v1 accepted this before hardening.
+  std::istringstream dup(
+      "khop-clustering v1\nk 2\nrounds 1\nnodes 3\nheads 2 0 0\n"
+      "0 0\n0 1\n0 1\n");
+  EXPECT_THROW(read_clustering(dup), InvalidArgument);
+}
+
+TEST(IoState, RejectsOutOfRangeIdsAndDistances) {
+  // head id 7 with only 3 nodes
+  std::istringstream big_head(
+      "khop-clustering v1\nk 2\nrounds 1\nnodes 3\nheads 1 7\n");
+  EXPECT_THROW(read_clustering(big_head), InvalidArgument);
+  // member distance 9 with k = 2
+  std::istringstream far(
+      "khop-clustering v1\nk 2\nrounds 1\nnodes 2\nheads 1 0\n0 0\n0 9\n");
+  EXPECT_THROW(read_clustering(far), InvalidArgument);
+  // a head whose own distance is nonzero
+  std::istringstream head_dist(
+      "khop-clustering v1\nk 2\nrounds 1\nnodes 2\nheads 1 0\n0 1\n0 1\n");
+  EXPECT_THROW(read_clustering(head_dist), InvalidArgument);
+}
+
+TEST(IoState, V2ChecksumDetectsCorruption) {
+  const Fixture f(1608);
+  std::ostringstream os;
+  write_clustering(os, f.clustering);
+  std::string text = os.str();
+  ASSERT_NE(text.find("khop-clustering v2"), std::string::npos);
+  ASSERT_NE(text.find("crc32c "), std::string::npos);
+
+  // Pristine v2 loads; any body byte flip fails the checksum.
+  std::istringstream ok(text);
+  EXPECT_NO_THROW(read_clustering(ok));
+  const std::size_t body_pos = text.find("\nk ") + 1;
+  text[body_pos + 2] ^= 0x01;  // mutate the k value in place
+  std::istringstream bad(text);
+  try {
+    read_clustering(bad);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(IoState, V1StillReadable) {
+  // A v2 writer output converted to v1 by stripping the trailer: the same
+  // body must parse under the legacy header.
+  const Fixture f(1609);
+  std::ostringstream os;
+  write_clustering(os, f.clustering);
+  std::string text = os.str();
+  const std::size_t trailer = text.rfind("crc32c ");
+  ASSERT_NE(trailer, std::string::npos);
+  text.erase(trailer);
+  const std::size_t v2 = text.find("v2");
+  ASSERT_NE(v2, std::string::npos);
+  text.replace(v2, 2, "v1");
+  std::istringstream is(text);
+  const Clustering copy = read_clustering(is);
+  EXPECT_EQ(copy.heads, f.clustering.heads);
+  EXPECT_EQ(copy.head_of, f.clustering.head_of);
+}
+
 TEST(IoNetwork, RejectsMalformedInput) {
   std::istringstream empty("");
   EXPECT_THROW(read_network(empty), InvalidArgument);
