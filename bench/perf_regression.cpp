@@ -4,7 +4,7 @@
 /// engine flood) at several node counts, checks that the optimized paths
 /// compute bit-identical results to the preserved legacy implementations
 /// (via output checksums), and emits the schema-versioned trajectory JSON
-/// (`BENCH_PR8.json` by default).
+/// (`BENCH_PR10.json` by default).
 ///
 /// Backbone kernels (PR 4): every paper pipeline is timed as `legacy` (the
 /// preserved reference two-pass construction: per-head all-heads probes +
@@ -42,6 +42,16 @@
 ///    AC-Mesh + G-MST (the flat and global extremes of the five pipelines).
 ///    `engine_flood` runs at k=1 to bound per-node discovery state.
 ///
+/// Sharded engine (PR 10): `engine_flood` gains `sharded2` / `sharded4` /
+/// `sharded8` variants — the same flood on the ShardedEngine coordinator
+/// (contiguous SFC id-range shards stepped across the ThreadPool, boundary
+/// messages exchanged serially between rounds). The discovery digest is the
+/// same as the serial/parallel variants', so the cross-variant checksum
+/// check enforces the sharding invariant: traces, stats and discovery
+/// results bit-identical to the single-shard engine at every shard count —
+/// including the n = 1,000,000 row, which must also stay under the existing
+/// RSS ceiling of the million-node smoke.
+///
 /// Usage:
 ///   bench_perf_regression [--out FILE] [--sizes n1,n2,...] [--k K]
 ///                         [--degree D] [--min-seconds S] [--min-reps R]
@@ -70,6 +80,7 @@
 #include "khop/runtime/workspace.hpp"
 #include "khop/sim/protocols/neighborhood.hpp"
 #include "khop/sim/reference.hpp"
+#include "khop/sim/sharded_engine.hpp"
 
 namespace {
 
@@ -80,7 +91,7 @@ using namespace khop;
 constexpr std::size_t kBigN = 100000;
 
 struct Options {
-  std::string out = "BENCH_PR8.json";
+  std::string out = "BENCH_PR10.json";
   std::vector<std::size_t> sizes = {500, 2000, 8000, 1000000};
   Hops k = 2;
   double degree = 8.0;
@@ -420,7 +431,9 @@ std::size_t bench_point(bench::Harness& h, const Options& opt, std::size_t n,
       return sum;
     });
   }
-  const auto flood_digest = [&](const SyncEngine& engine) {
+  // Generic over the engine type: SyncEngine and ShardedEngine expose the
+  // same stats()/agent() surface, and the digest only reads those.
+  const auto flood_digest = [&](const auto& engine) {
     double sum = static_cast<double>(engine.stats().receptions +
                                      engine.stats().rounds);
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
@@ -446,6 +459,25 @@ std::size_t bench_point(bench::Harness& h, const Options& opt, std::size_t n,
     engine.run(2 * k_flood + 2, pool);
     return flood_digest(engine);
   });
+  // The sharded coordinator at 2/4/8 contiguous id-range shards. The digest
+  // (and the harness's cross-variant checksum check) must agree exactly with
+  // the serial/parallel rows: the sharded round loop is bit-identical to the
+  // single-shard engine by construction.
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{4},
+                                   std::size_t{8}}) {
+    h.time_kernel("engine_flood", "sharded" + std::to_string(shards), n,
+                  k_flood, [&] {
+                    ShardedEngine engine(
+                        g,
+                        [&](NodeId) {
+                          return std::make_unique<NeighborhoodDiscoveryAgent>(
+                              k_flood);
+                        },
+                        shards);
+                    engine.run(2 * k_flood + 2, pool);
+                    return flood_digest(engine);
+                  });
+  }
 
   if (big) {
     std::cout << " generation speedup x" << fmt(h.speedup("generation", n), 2)
@@ -464,7 +496,7 @@ std::size_t bench_point(bench::Harness& h, const Options& opt, std::size_t n,
 
 int main(int argc, char** argv) {
   const Options opt = parse_args(argc, argv);
-  bench::Harness harness("PR8", {opt.min_reps, opt.min_seconds});
+  bench::Harness harness("PR10", {opt.min_reps, opt.min_seconds});
   ThreadPool pool;  // hardware concurrency, for the parallel variants
 
   std::vector<std::size_t> benched;

@@ -1,0 +1,59 @@
+#include "khop/graph/partition.hpp"
+
+#include <algorithm>
+
+#include "khop/common/assert.hpp"
+
+namespace khop {
+
+ShardPlan::ShardPlan(const Graph& g, std::size_t num_shards) {
+  KHOP_REQUIRE(num_shards > 0, "shard plan needs at least one shard");
+  const std::size_t n = g.num_nodes();
+  ranges_.resize(num_shards);
+  shard_of_.assign(n, 0);
+  boundary_.assign(n, 0);
+
+  // Contiguous near-equal cuts, the same arithmetic as parallel_for's static
+  // blocks: shard s owns [n*s/S, n*(s+1)/S). Shards beyond the node count
+  // come out empty (begin == end).
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    ranges_[s].begin = static_cast<NodeId>(n * s / num_shards);
+    ranges_[s].end = static_cast<NodeId>(n * (s + 1) / num_shards);
+    for (NodeId v = ranges_[s].begin; v < ranges_[s].end; ++v) {
+      shard_of_[v] = static_cast<std::uint32_t>(s);
+    }
+  }
+
+  // Classify: a node is boundary iff any neighbor lives in another shard;
+  // those same crossing edges define the neighbor shard's halo.
+  for (NodeId v = 0; v < n; ++v) {
+    const std::size_t sv = shard_of_[v];
+    for (NodeId u : g.neighbors(v)) {
+      if (shard_of_[u] != sv) {
+        boundary_[v] = 1;
+        // v is adjacent to shard_of_[u] from outside: v joins that halo.
+        ranges_[shard_of_[u]].halo.push_back(v);
+      }
+    }
+    if (boundary_[v] != 0) {
+      ranges_[sv].boundary_nodes.push_back(v);
+      ++boundary_total_;
+    }
+  }
+  // boundary_nodes comes out ascending (built in one ascending sweep); the
+  // halo lists collect one entry per crossing edge and need dedup.
+  for (ShardRange& r : ranges_) {
+    std::sort(r.halo.begin(), r.halo.end());
+    r.halo.erase(std::unique(r.halo.begin(), r.halo.end()), r.halo.end());
+  }
+}
+
+double ShardPlan::boundary_fraction(std::size_t s) const {
+  KHOP_REQUIRE(s < ranges_.size(), "shard index out of range");
+  const ShardRange& r = ranges_[s];
+  if (r.size() == 0) return 0.0;
+  return static_cast<double>(r.boundary_nodes.size()) /
+         static_cast<double>(r.size());
+}
+
+}  // namespace khop

@@ -38,6 +38,27 @@ void ThreadPool::submit(std::function<void()> task) {
   cv_work_.notify_one();
 }
 
+void ThreadPool::run_blocks(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  KHOP_REQUIRE(static_cast<bool>(body), "empty block body");
+  if (count == 0) return;
+  const std::size_t chunks = std::min(count, num_threads() * 4);
+  {
+    std::scoped_lock lock(mu_);
+    KHOP_REQUIRE(!stopping_, "submit after shutdown");
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t lo = count * c / chunks;
+      const std::size_t hi = count * (c + 1) / chunks;
+      // &body stays valid: every block completes before wait_idle returns.
+      queue_.push_back([lo, hi, &body] { body(lo, hi); });
+      ++in_flight_;
+    }
+  }
+  cv_work_.notify_all();
+  wait_idle();
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mu_);
   cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
@@ -69,18 +90,9 @@ void ThreadPool::worker_loop() {
 
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& fn) {
-  if (count == 0) return;
-  const std::size_t chunks = std::min(count, pool.num_threads() * 4);
-  const std::size_t per_chunk = (count + chunks - 1) / chunks;
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t begin = c * per_chunk;
-    const std::size_t end = std::min(count, begin + per_chunk);
-    if (begin >= end) break;
-    pool.submit([begin, end, &fn] {
-      for (std::size_t i = begin; i < end; ++i) fn(i);
-    });
-  }
-  pool.wait_idle();
+  pool.run_blocks(count, [&fn](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) fn(i);
+  });
 }
 
 void parallel_for_throwing(ThreadPool& pool, std::size_t count,
@@ -88,9 +100,12 @@ void parallel_for_throwing(ThreadPool& pool, std::size_t count,
   std::mutex mu;
   std::size_t first_index = count;
   std::exception_ptr first;
-  parallel_for(pool, count, [&](std::size_t i) {
+  pool.run_blocks(count, [&](std::size_t lo, std::size_t hi) {
+    // One handler per block: a throw ends the block at its index (serial
+    // ascending-loop semantics) instead of paying a try frame per element.
+    std::size_t i = lo;
     try {
-      fn(i);
+      for (; i < hi; ++i) fn(i);
     } catch (...) {
       std::scoped_lock lock(mu);
       if (i < first_index) {

@@ -28,6 +28,13 @@
 /// Both delivery sequences are bit-identical to the original flat sort (see
 /// sim/reference.hpp for the preserved engine and the equivalence suite).
 ///
+/// Structure (PR 10): the per-node state - agents, arenas, recording
+/// buckets, delivery machinery - lives in ShardRuntime
+/// (sim/shard_runtime.hpp). SyncEngine is one full-range runtime plus the
+/// round loop and the parallel executor's serial merge; ShardedEngine
+/// (sim/sharded_engine.hpp) runs many partial-range runtimes over a
+/// graph/partition.hpp ShardPlan with the same loop structure.
+///
 /// Parallel execution: run(max_rounds, ThreadPool&) executes the disjoint
 /// destination inboxes (and the on_start / on_round_end phases) across
 /// workers. Handlers record their sends into per-chunk outboxes that are
@@ -36,7 +43,10 @@
 /// lossy DeliveryModel consultation order are bit-identical to the serial
 /// engine for any thread count. Agents only ever run on their own node's
 /// inbox, which is processed by exactly one worker per phase; agents must
-/// not share mutable state across nodes.
+/// not share mutable state across nodes. The merge adopts each chunk's
+/// payload arena into the round's read side wholesale (detail::AdoptedArenas)
+/// instead of re-interning every payload - steady-state rounds copy each
+/// payload exactly once, at record time.
 ///
 /// Reuse contract: run() may be called repeatedly on one engine. Every call
 /// is an independent execution - round counter, stats, pending queues and
@@ -46,155 +56,21 @@
 /// agent() before a re-run are invalidated by the next run().
 #pragma once
 
-#include <cstdint>
-#include <functional>
-#include <initializer_list>
-#include <memory>
-#include <span>
+#include <cstddef>
 #include <vector>
 
 #include "khop/graph/graph.hpp"
-#include "khop/obs/metrics.hpp"
 #include "khop/sim/message.hpp"
+#include "khop/sim/shard_runtime.hpp"
 
 namespace khop {
 
-class SyncEngine;
 class ThreadPool;
 
-/// Decides the fate of one per-link transmission attempt. The engine calls
-/// attempt() in its deterministic enqueue order (sender processing order,
-/// then ascending-neighbor order for broadcasts), so implementations backed
-/// by a seeded rng make a lossy run a pure function of (topology, protocol,
-/// seed). Concrete radio-driven implementations live in khop/radio/.
-/// The parallel executor preserves this order: models are only ever
-/// consulted during the serial outbox merge, never from a worker.
-class DeliveryModel {
- public:
-  virtual ~DeliveryModel() = default;
-
-  /// True iff a single transmission attempt from -> to is delivered.
-  /// Retries call it again, one call per attempt.
-  virtual bool attempt(NodeId from, NodeId to) = 0;
-};
-
-/// Lossy-delivery configuration for a SyncEngine.
-struct DeliveryOptions {
-  /// Non-owning; must outlive the engine. nullptr = the paper's ideal MAC
-  /// (the legacy code path, bit-for-bit).
-  DeliveryModel* model = nullptr;
-  /// Extra attempts per dropped per-link delivery (ARQ-style link retries).
-  /// Each retry is recorded in SimStats::retransmissions; a delivery that
-  /// still fails after the budget counts once in SimStats::drops.
-  std::size_t retry_budget = 0;
-};
-
-namespace detail {
-/// One recorded local broadcast: the ideal-MAC fast path stores it once per
-/// sender instead of materializing one queue entry per neighbor - the
-/// receiver set is exactly neighbors(sender), so delivery re-derives it.
-struct BcastRec {
-  std::uint16_t type = 0;
-  PayloadView data;
-};
-
-/// One recorded addressed send, bucketed by destination.
-struct SendRec {
-  NodeId sender = kInvalidNode;
-  std::uint16_t type = 0;
-  PayloadView data;
-};
-
-/// One handler-recorded send in the parallel executor. Broadcasts keep
-/// to == kInvalidNode and expand to per-neighbor deliveries at merge time,
-/// in ascending-neighbor order - exactly the serial enqueue sequence.
-struct RawSend {
-  NodeId from = kInvalidNode;
-  NodeId to = kInvalidNode;
-  std::uint16_t type = 0;
-  PayloadView data;
-};
-
-/// Per-chunk sink for the parallel executor: workers intern payloads into a
-/// chunk-private arena and append RawSends; the engine replays them (stats,
-/// delivery model, recording/queue pushes) serially in chunk order.
-struct EngineOutbox {
-  PayloadArena arena;
-  std::vector<RawSend> sends;
-  std::size_t receptions = 0;
-  /// Per-worker merge buffer for fast-path delivery (see deliver_fast_to).
-  std::vector<BcastRec> scratch;
-  /// Per-chunk inbox-size samples (telemetry only); merged at the serial
-  /// join after each delivery phase, NOT dropped by reset() — the merge
-  /// happens after flush_outboxes has already reset the chunk.
-  obs::LocalHistogram inbox_sizes;
-
-  void reset() noexcept {
-    arena.clear();
-    sends.clear();
-    receptions = 0;
-  }
-};
-}  // namespace detail
-
-/// Per-node handle the engine passes to agent callbacks.
-class NodeContext {
- public:
-  NodeId id() const noexcept { return id_; }
-  std::size_t round() const noexcept;
-  std::span<const NodeId> neighbors() const;
-
-  /// Local broadcast: delivered to every neighbor next round. The words are
-  /// copied (interned) before the call returns; the span need only be valid
-  /// for the duration of the call.
-  void broadcast(std::uint16_t type, std::span<const std::int64_t> data);
-  void broadcast(std::uint16_t type, std::initializer_list<std::int64_t> data) {
-    broadcast(type, std::span<const std::int64_t>(data.begin(), data.size()));
-  }
-
-  /// Addressed send to a direct neighbor: delivered next round.
-  /// \pre `to` is a neighbor of this node
-  void send(NodeId to, std::uint16_t type, std::span<const std::int64_t> data);
-  void send(NodeId to, std::uint16_t type,
-            std::initializer_list<std::int64_t> data) {
-    send(to, type, std::span<const std::int64_t>(data.begin(), data.size()));
-  }
-
- private:
-  friend class SyncEngine;
-  NodeContext(SyncEngine& engine, NodeId id,
-              detail::EngineOutbox* sink = nullptr)
-      : engine_(&engine), id_(id), sink_(sink) {}
-  SyncEngine* engine_;
-  NodeId id_;
-  /// Non-null only under the parallel executor: sends are recorded here and
-  /// replayed serially instead of touching shared engine state.
-  detail::EngineOutbox* sink_;
-};
-
-/// A protocol's per-node state machine.
-class NodeAgent {
- public:
-  virtual ~NodeAgent() = default;
-
-  /// Round 0: initial sends.
-  virtual void on_start(NodeContext& /*ctx*/) {}
-
-  /// One delivered message (round >= 1).
-  virtual void on_message(NodeContext& ctx, const Message& msg) = 0;
-
-  /// End of every round (round >= 1), after all deliveries of that round.
-  virtual void on_round_end(NodeContext& /*ctx*/) {}
-
-  /// Termination hint: the engine stops when every agent is finished and no
-  /// messages are in flight.
-  virtual bool finished() const { return true; }
-};
-
-/// The simulator. Owns one agent per node.
+/// The simulator. Owns one agent per node (via its full-range runtime).
 class SyncEngine {
  public:
-  using AgentFactory = std::function<std::unique_ptr<NodeAgent>(NodeId)>;
+  using AgentFactory = khop::AgentFactory;
 
   /// \p delivery configures lossy links; the default is the ideal MAC.
   /// The factory is retained: re-running the engine re-creates the agents
@@ -211,117 +87,34 @@ class SyncEngine {
   bool run(std::size_t max_rounds, ThreadPool& pool);
 
   const SimStats& stats() const noexcept { return stats_; }
-  std::size_t round() const noexcept { return round_; }
+  std::size_t round() const noexcept { return core_.round_; }
 
-  NodeAgent& agent(NodeId v);
-  const NodeAgent& agent(NodeId v) const;
+  NodeAgent& agent(NodeId v) { return core_.agent(v); }
+  const NodeAgent& agent(NodeId v) const { return core_.agent(v); }
 
   const Graph& graph() const noexcept { return *graph_; }
 
  private:
-  friend class NodeContext;
-
-  /// One scheduled delivery: destination + the message it will receive.
-  struct Routed {
-    NodeId to = kInvalidNode;
-    Message msg;
-  };
-
   const Graph* graph_;
   DeliveryOptions delivery_;
   AgentFactory factory_;
-  std::vector<std::unique_ptr<NodeAgent>> agents_;
-  /// Lossy-path state: double-buffered flat delivery queues, indexed by
-  /// write_. Only used when a DeliveryModel is installed - per-link drops
-  /// must be decided at enqueue time in the documented order, so messages
-  /// are materialized per receiver. Ideal-MAC rounds leave these empty.
-  std::vector<Routed> queues_[2];
-  /// Payload arenas, double-buffered by delivery round (both paths).
-  PayloadArena arenas_[2];
-  unsigned write_ = 0;
-  std::size_t round_ = 0;
+  /// The full-range [0, n) delivery/dispatch core (no partition installed).
+  ShardRuntime core_;
+  std::vector<detail::EngineOutbox> outboxes_;  ///< parallel executor sinks
+  detail::AdoptedArenas adopted_;  ///< chunk arenas adopted at merge time
   SimStats stats_;
   bool ran_ = false;
-
-  /// Ideal-MAC fast-path state, double-buffered like queues_: a broadcast
-  /// is recorded ONCE under its sender (receivers = neighbors(sender), so
-  /// per-neighbor queue entries would be pure redundancy), addressed sends
-  /// are bucketed by destination, and delivery walks each receiver's
-  /// neighbor list - the per-receiver message sequence comes out in the
-  /// canonical (sender, type, payload) order by construction (ascending
-  /// adjacency x per-sender records sorted once). Broadcasts land in a flat
-  /// append log; prepare_fast_round counting-scatters the read side into
-  /// flat_recs_ grouped by ascending sender (one contiguous range per
-  /// sender, no per-sender heap vectors). The dirty lists make clearing
-  /// O(active nodes).
-  std::vector<detail::SendRec> bcast_log_[2];   ///< append order, per side
-  std::vector<NodeId> bcast_senders_[2];        ///< dirty senders
-  std::vector<std::uint32_t> rec_count_[2];     ///< per-sender log counts
-  std::vector<std::uint32_t> rec_begin_;        ///< read-side range starts
-  std::vector<std::uint32_t> rec_cursor_;       ///< scatter cursors
-  std::vector<detail::BcastRec> flat_recs_;     ///< read side, sender-grouped
-  std::vector<std::vector<detail::SendRec>> sends_[2];    ///< per destination
-  std::vector<NodeId> send_dests_[2];                     ///< dirty dests
-  std::vector<std::uint32_t> dest_stamp_;  ///< receiver-set dedup marks
-  std::uint32_t dest_epoch_ = 0;
-  std::vector<detail::BcastRec> merge_scratch_;  ///< serial merge buffer
-
-  /// Lossy-path receiver-batching scratch, persistent across rounds
-  /// (capacity only grows). inbox_pos_ doubles as per-destination count,
-  /// then scatter cursor; it is returned to all-zero after every partition.
-  std::vector<Routed> scratch_;        ///< destination-bucketed inbox
-  std::vector<std::size_t> inbox_pos_; ///< per-destination count/cursor
-  std::vector<NodeId> dests_;          ///< distinct destinations, ascending
-  std::vector<std::size_t> spans_;     ///< bucket b = scratch_[spans_[b], spans_[b+1])
-  std::vector<detail::EngineOutbox> outboxes_;  ///< parallel executor sinks
-
-  bool ideal_mac() const noexcept { return delivery_.model == nullptr; }
-
-  /// True iff nothing is scheduled for delivery next round.
-  bool write_side_empty() const noexcept {
-    return queues_[write_].empty() && bcast_senders_[write_].empty() &&
-           send_dests_[write_].empty();
-  }
 
   /// Resets counters, queues and arenas; re-creates agents on re-entry.
   void reset_for_run();
 
-  /// Fast-path recording (ideal MAC): stats + intern + per-sender /
-  /// per-destination bucket append.
-  void record_broadcast(NodeId from, std::uint16_t type,
-                        std::span<const std::int64_t> data);
-  void record_send(NodeId from, NodeId to, std::uint16_t type,
-                   std::span<const std::int64_t> data);
-
-  /// Sorts side \p read's records and builds dests_ (ascending receiver
-  /// set: every broadcaster's neighborhood plus every send destination).
-  void prepare_fast_round(unsigned read);
-
-  /// Delivers side \p read's messages to \p d in canonical order: senders
-  /// ascending (d's adjacency), each sender's broadcasts merged with its
-  /// addressed sends by (type, payload).
-  void deliver_fast_to(NodeId d, unsigned read, NodeContext& ctx,
-                       std::size_t& receptions,
-                       std::vector<detail::BcastRec>& scratch);
-
-  /// O(dirty) reset of side \p side's fast-path buckets.
-  void clear_fast_side(unsigned side) noexcept;
-
-  /// Buckets \p inbox by destination into scratch_ / dests_ / spans_.
-  void partition_inbox(const std::vector<Routed>& inbox);
-
-  /// Sorts bucket \p b by (sender, type, payload).
-  void sort_bucket(std::size_t b);
-
-  /// Runs the per-link delivery model (drops/retries) and, if delivered,
-  /// schedules \p data (already interned in the write arena) for \p to.
-  void enqueue(NodeId from, NodeId to, std::uint16_t type, PayloadView data);
-
-  /// Serial replay of one recorded send: stats, interning into the write
-  /// arena, delivery model, recording/queue pushes - the exact serial path.
+  /// Serial replay of one recorded send: stats, delivery model, recording /
+  /// queue pushes - the exact serial path. The payload already lives in the
+  /// chunk arena (adopted after the replay loop), so nothing is re-interned.
   void replay(const detail::RawSend& send);
 
-  /// Replays outboxes_[0, used) in order and folds their reception counts.
+  /// Replays outboxes_[0, used) in order, folds their reception counts, and
+  /// adopts their arenas into the current write side.
   void flush_outboxes(std::size_t used);
 
   /// Shared round loop; pool == nullptr is the serial engine.

@@ -1,0 +1,430 @@
+#include "khop/sim/shard_runtime.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <tuple>
+
+#include "khop/common/assert.hpp"
+#include "khop/graph/partition.hpp"
+
+namespace khop {
+
+std::size_t NodeContext::round() const noexcept { return rt_->round_; }
+
+std::span<const NodeId> NodeContext::neighbors() const {
+  return rt_->graph_->neighbors(id_);
+}
+
+void NodeContext::broadcast(std::uint16_t type,
+                            std::span<const std::int64_t> data) {
+  if (sink_ != nullptr) {
+    // Deferred executor (parallel chunk or sharded lossy shard): record
+    // once; the owner replays the stats, recording (or per-neighbor
+    // delivery attempts) serially in node order.
+    sink_->sends.push_back(detail::RawSend{id_, kInvalidNode, type,
+                                           sink_->arena.intern(data)});
+    return;
+  }
+  if (rt_->ideal()) {
+    rt_->record_broadcast(id_, type, data);
+    return;
+  }
+  rt_->lossy_broadcast(id_, type, data);
+}
+
+void NodeContext::send(NodeId to, std::uint16_t type,
+                       std::span<const std::int64_t> data) {
+  KHOP_REQUIRE(rt_->graph_->has_edge(id_, to),
+               "addressed send target is not a neighbor");
+  if (sink_ != nullptr) {
+    sink_->sends.push_back(
+        detail::RawSend{id_, to, type, sink_->arena.intern(data)});
+    return;
+  }
+  if (rt_->ideal()) {
+    rt_->record_send(id_, to, type, data);
+    return;
+  }
+  rt_->lossy_send(id_, to, type, data);
+}
+
+void ShardRuntime::init(const Graph& g, NodeId begin, NodeId end,
+                        const DeliveryOptions& delivery, SimStats* stats) {
+  KHOP_REQUIRE(begin <= end && end <= g.num_nodes(),
+               "shard range out of graph bounds");
+  KHOP_REQUIRE(stats != nullptr, "shard runtime needs a stats sink");
+  graph_ = &g;
+  begin_ = begin;
+  end_ = end;
+  delivery_ = delivery;
+  stats_ = stats;
+  const std::size_t m = size();
+  for (unsigned side = 0; side < 2; ++side) {
+    rec_count_[side].assign(m, 0);
+    sends_[side].resize(m);
+  }
+  rec_begin_.assign(m, 0);
+  rec_cursor_.assign(m, 0);
+  dest_stamp_.assign(m, 0);
+  dest_epoch_ = 0;
+  inbox_pos_.assign(m, 0);
+}
+
+void ShardRuntime::set_partition(const ShardPlan* plan,
+                                 std::vector<BoundaryMsg>* boundary_out) {
+  KHOP_REQUIRE((plan == nullptr) == (boundary_out == nullptr),
+               "partition and boundary outboxes come together");
+  plan_ = plan;
+  boundary_out_ = boundary_out;
+}
+
+void ShardRuntime::create_agents(const AgentFactory& factory) {
+  agents_.resize(size());
+  for (NodeId v = begin_; v < end_; ++v) {
+    agents_[v - begin_] = factory(v);
+    KHOP_REQUIRE(agents_[v - begin_] != nullptr, "factory returned null agent");
+  }
+}
+
+void ShardRuntime::reset_state() {
+  round_ = 0;
+  write_ = 0;
+  queues_[0].clear();
+  queues_[1].clear();
+  arenas_[0].clear();
+  arenas_[1].clear();
+  clear_fast_side(0);
+  clear_fast_side(1);
+}
+
+NodeAgent& ShardRuntime::agent(NodeId v) {
+  KHOP_REQUIRE(in_range(v), "node outside shard range");
+  return *agents_[local(v)];
+}
+
+const NodeAgent& ShardRuntime::agent(NodeId v) const {
+  KHOP_REQUIRE(in_range(v), "node outside shard range");
+  return *agents_[local(v)];
+}
+
+bool ShardRuntime::agents_finished() const {
+  return std::all_of(
+      agents_.begin(), agents_.end(),
+      [](const std::unique_ptr<NodeAgent>& a) { return a->finished(); });
+}
+
+unsigned ShardRuntime::begin_round(std::size_t round) {
+  round_ = round;
+  const unsigned read = write_;
+  write_ ^= 1u;
+  queues_[write_].clear();
+  arenas_[write_].clear();
+  clear_fast_side(write_);
+  return read;
+}
+
+void ShardRuntime::add_remote(const BoundaryMsg& m) {
+  KHOP_ASSERT(in_range(m.receiver), "remote message for foreign shard");
+  record_send_rec(m.sender, m.receiver, m.type, m.data);
+}
+
+void ShardRuntime::record_broadcast(NodeId from, std::uint16_t type,
+                                    std::span<const std::int64_t> data) {
+  stats_->note_transmission(data.size());
+  // A broadcast with no receivers is a radio transmission (counted above)
+  // but schedules nothing: recording it would keep the write side non-empty
+  // and cost an extra round the reference engine never runs.
+  if (graph_->neighbors(from).empty()) return;
+  // One materialization per broadcast: every receiver's delivery aliases
+  // the same interned words.
+  record_broadcast_rec(from, type, arenas_[write_].intern(data));
+}
+
+void ShardRuntime::record_send(NodeId from, NodeId to, std::uint16_t type,
+                               std::span<const std::int64_t> data) {
+  stats_->note_transmission(data.size());
+  record_send_rec(from, to, type, arenas_[write_].intern(data));
+}
+
+void ShardRuntime::record_broadcast_adopted(NodeId from, std::uint16_t type,
+                                            PayloadView payload) {
+  stats_->note_transmission(payload.size());
+  if (graph_->neighbors(from).empty()) return;
+  record_broadcast_rec(from, type, payload);
+}
+
+void ShardRuntime::record_send_adopted(NodeId from, NodeId to,
+                                       std::uint16_t type,
+                                       PayloadView payload) {
+  stats_->note_transmission(payload.size());
+  record_send_rec(from, to, type, payload);
+}
+
+void ShardRuntime::record_broadcast_rec(NodeId from, std::uint16_t type,
+                                        PayloadView payload) {
+  if (plan_ != nullptr && plan_->is_boundary(from)) {
+    // The cut crosses this sender's neighborhood: out-of-shard receivers
+    // get BoundaryMsg records (ascending adjacency => ascending dst shard,
+    // since shards are contiguous id ranges); the local record below covers
+    // the in-shard remainder, if any.
+    bool any_local = false;
+    for (NodeId v : graph_->neighbors(from)) {
+      if (in_range(v)) {
+        any_local = true;
+        continue;
+      }
+      boundary_out_[plan_->shard_of(v)].push_back(
+          BoundaryMsg{v, from, type, payload});
+    }
+    if (!any_local) return;
+  }
+  if (rec_count_[write_][local(from)]++ == 0) {
+    bcast_senders_[write_].push_back(from);
+  }
+  bcast_log_[write_].push_back(detail::SendRec{from, type, payload});
+}
+
+void ShardRuntime::record_send_rec(NodeId from, NodeId to, std::uint16_t type,
+                                   PayloadView payload) {
+  if (!in_range(to)) {
+    boundary_out_[plan_->shard_of(to)].push_back(
+        BoundaryMsg{to, from, type, payload});
+    return;
+  }
+  std::vector<detail::SendRec>& list = sends_[write_][local(to)];
+  if (list.empty()) send_dests_[write_].push_back(to);
+  list.push_back(detail::SendRec{from, type, payload});
+}
+
+void ShardRuntime::lossy_broadcast(NodeId from, std::uint16_t type,
+                                   std::span<const std::int64_t> data) {
+  KHOP_ASSERT(plan_ == nullptr, "direct lossy path on a partial shard");
+  stats_->note_transmission(data.size());
+  const PayloadView payload = arenas_[write_].intern(data);
+  for (NodeId v : graph_->neighbors(from)) {
+    enqueue_direct(from, v, type, payload);
+  }
+}
+
+void ShardRuntime::lossy_send(NodeId from, NodeId to, std::uint16_t type,
+                              std::span<const std::int64_t> data) {
+  KHOP_ASSERT(plan_ == nullptr, "direct lossy path on a partial shard");
+  stats_->note_transmission(data.size());
+  enqueue_direct(from, to, type, arenas_[write_].intern(data));
+}
+
+void ShardRuntime::enqueue_direct(NodeId from, NodeId to, std::uint16_t type,
+                                  PayloadView data) {
+  if (delivery_.model != nullptr) {
+    bool delivered = delivery_.model->attempt(from, to);
+    for (std::size_t retry = 0; !delivered && retry < delivery_.retry_budget;
+         ++retry) {
+      ++stats_->retransmissions;
+      delivered = delivery_.model->attempt(from, to);
+    }
+    if (!delivered) {
+      ++stats_->drops;
+      return;
+    }
+  }
+  queues_[write_].push_back(detail::Routed{to, Message{from, type, data}});
+}
+
+void ShardRuntime::clear_fast_side(unsigned side) noexcept {
+  for (NodeId s : bcast_senders_[side]) rec_count_[side][local(s)] = 0;
+  bcast_senders_[side].clear();
+  bcast_log_[side].clear();
+  for (NodeId d : send_dests_[side]) sends_[side][local(d)].clear();
+  send_dests_[side].clear();
+}
+
+void ShardRuntime::prepare_fast_round(unsigned read) {
+  // Group the read-side broadcast log by ascending sender with a counting
+  // scatter (the counts were maintained at record time), then sort each
+  // sender's contiguous range: record order is a handler artifact, and the
+  // canonical inbox order needs (type, payload) within each sender. Every
+  // receiver replays the same sorted ranges.
+  std::sort(bcast_senders_[read].begin(), bcast_senders_[read].end());
+  std::uint32_t ofs = 0;
+  for (NodeId s : bcast_senders_[read]) {
+    rec_begin_[local(s)] = ofs;
+    rec_cursor_[local(s)] = ofs;
+    ofs += rec_count_[read][local(s)];
+  }
+  flat_recs_.resize(bcast_log_[read].size());
+  for (const detail::SendRec& e : bcast_log_[read]) {
+    flat_recs_[rec_cursor_[local(e.sender)]++] =
+        detail::BcastRec{e.type, e.data};
+  }
+  for (NodeId s : bcast_senders_[read]) {
+    if (rec_count_[read][local(s)] > 1) {
+      std::sort(flat_recs_.begin() + rec_begin_[local(s)],
+                flat_recs_.begin() + rec_cursor_[local(s)],
+                [](const detail::BcastRec& a, const detail::BcastRec& b) {
+                  return std::tie(a.type, a.data) < std::tie(b.type, b.data);
+                });
+    }
+  }
+  for (NodeId d : send_dests_[read]) {
+    std::vector<detail::SendRec>& sd = sends_[read][local(d)];
+    if (sd.size() > 1) {
+      std::sort(sd.begin(), sd.end(),
+                [](const detail::SendRec& a, const detail::SendRec& b) {
+                  return std::tie(a.sender, a.type, a.data) <
+                         std::tie(b.sender, b.type, b.data);
+                });
+    }
+  }
+
+  // Receiver set: every broadcaster's in-range neighborhood plus every
+  // addressed destination (including remote insertions, which are always
+  // in range), deduplicated with epoch stamps, ascending.
+  if (dest_epoch_ == std::numeric_limits<std::uint32_t>::max()) {
+    std::fill(dest_stamp_.begin(), dest_stamp_.end(), 0);
+    dest_epoch_ = 0;
+  }
+  ++dest_epoch_;
+  dests_.clear();
+  for (NodeId s : bcast_senders_[read]) {
+    for (NodeId v : graph_->neighbors(s)) {
+      if (!in_range(v)) continue;
+      if (dest_stamp_[local(v)] != dest_epoch_) {
+        dest_stamp_[local(v)] = dest_epoch_;
+        dests_.push_back(v);
+      }
+    }
+  }
+  for (NodeId d : send_dests_[read]) {
+    if (dest_stamp_[local(d)] != dest_epoch_) {
+      dest_stamp_[local(d)] = dest_epoch_;
+      dests_.push_back(d);
+    }
+  }
+  std::sort(dests_.begin(), dests_.end());
+}
+
+void ShardRuntime::deliver_fast_to(NodeId d, unsigned read, NodeContext& ctx,
+                                   std::size_t& receptions,
+                                   std::vector<detail::BcastRec>& scratch) {
+  const std::vector<detail::SendRec>& sd = sends_[read][local(d)];
+  std::size_t si = 0;
+  NodeAgent& agent = *agents_[local(d)];
+  const std::uint32_t* counts = rec_count_[read].data();
+  for (NodeId s : graph_->neighbors(d)) {
+    // Halo senders (other shards) never have local broadcast records; their
+    // cross-cut messages arrive as addressed-send records via add_remote,
+    // so the send-only branch below replays them at s's adjacency position.
+    // rec_begin_ is only meaningful when the count != 0 (stale otherwise),
+    // so the range pointer is formed after the count check.
+    const std::uint32_t cnt = in_range(s) ? counts[local(s)] : 0;
+    // sd is sorted by sender and every send sender is a neighbor of d, so
+    // walking d's ascending adjacency consumes it in one pass.
+    const std::size_t s_begin = si;
+    while (si < sd.size() && sd[si].sender == s) ++si;
+    if (si == s_begin) {
+      const detail::BcastRec* bs =
+          cnt != 0 ? flat_recs_.data() + rec_begin_[local(s)] : nullptr;
+      for (std::uint32_t i = 0; i < cnt; ++i) {
+        ++receptions;
+        agent.on_message(ctx, Message{s, bs[i].type, bs[i].data});
+      }
+      continue;
+    }
+    if (cnt == 0) {
+      for (std::size_t i = s_begin; i < si; ++i) {
+        ++receptions;
+        agent.on_message(ctx, Message{s, sd[i].type, sd[i].data});
+      }
+      continue;
+    }
+    // Rare: s both broadcast and addressed d this round; merge the two
+    // (type, payload)-sorted groups.
+    const detail::BcastRec* bs = flat_recs_.data() + rec_begin_[local(s)];
+    scratch.clear();
+    scratch.insert(scratch.end(), bs, bs + cnt);
+    for (std::size_t i = s_begin; i < si; ++i) {
+      scratch.push_back(detail::BcastRec{sd[i].type, sd[i].data});
+    }
+    std::sort(scratch.begin(), scratch.end(),
+              [](const detail::BcastRec& a, const detail::BcastRec& b) {
+                return std::tie(a.type, a.data) < std::tie(b.type, b.data);
+              });
+    for (const detail::BcastRec& r : scratch) {
+      ++receptions;
+      agent.on_message(ctx, Message{s, r.type, r.data});
+    }
+  }
+  KHOP_ASSERT(si == sd.size(), "send from non-neighbor in inbox assembly");
+}
+
+void ShardRuntime::deliver_fast_all(unsigned read, obs::LocalHistogram* hist,
+                                    detail::EngineOutbox* sink) {
+  for (const NodeId d : dests_) {
+    NodeContext ctx(*this, d, sink);
+    const std::size_t rx0 = stats_->receptions;
+    deliver_fast_to(d, read, ctx, stats_->receptions, merge_scratch_);
+    if (hist != nullptr) hist->record(stats_->receptions - rx0);
+  }
+}
+
+void ShardRuntime::partition_inbox(unsigned read) {
+  const std::vector<detail::Routed>& inbox = queues_[read];
+  dests_.clear();
+  for (const detail::Routed& r : inbox) {
+    if (inbox_pos_[local(r.to)]++ == 0) dests_.push_back(r.to);
+  }
+  std::sort(dests_.begin(), dests_.end());
+
+  spans_.resize(dests_.size() + 1);
+  spans_[0] = 0;
+  for (std::size_t b = 0; b < dests_.size(); ++b) {
+    spans_[b + 1] = spans_[b] + inbox_pos_[local(dests_[b])];
+    inbox_pos_[local(dests_[b])] = spans_[b];  // becomes the scatter cursor
+  }
+  scratch_.resize(inbox.size());
+  for (const detail::Routed& r : inbox) {
+    scratch_[inbox_pos_[local(r.to)]++] = r;
+  }
+  for (NodeId d : dests_) inbox_pos_[local(d)] = 0;  // all-zero for next round
+}
+
+void ShardRuntime::deliver_bucket(std::size_t b, NodeContext& ctx,
+                                  std::size_t& receptions) {
+  std::sort(scratch_.begin() + static_cast<std::ptrdiff_t>(spans_[b]),
+            scratch_.begin() + static_cast<std::ptrdiff_t>(spans_[b + 1]),
+            [](const detail::Routed& a, const detail::Routed& b2) {
+              return std::tie(a.msg.sender, a.msg.type, a.msg.data) <
+                     std::tie(b2.msg.sender, b2.msg.type, b2.msg.data);
+            });
+  const NodeId d = dests_[b];
+  NodeAgent& agent = *agents_[local(d)];
+  for (std::size_t i = spans_[b]; i < spans_[b + 1]; ++i) {
+    ++receptions;
+    agent.on_message(ctx, scratch_[i].msg);
+  }
+}
+
+void ShardRuntime::deliver_lossy_all(obs::LocalHistogram* hist,
+                                     detail::EngineOutbox* sink) {
+  for (std::size_t b = 0; b < dests_.size(); ++b) {
+    NodeContext ctx(*this, dests_[b], sink);
+    if (hist != nullptr) hist->record(spans_[b + 1] - spans_[b]);
+    deliver_bucket(b, ctx, stats_->receptions);
+  }
+}
+
+void ShardRuntime::run_on_start(detail::EngineOutbox* sink) {
+  for (NodeId v = begin_; v < end_; ++v) {
+    NodeContext ctx(*this, v, sink);
+    agents_[local(v)]->on_start(ctx);
+  }
+}
+
+void ShardRuntime::run_on_round_end(detail::EngineOutbox* sink) {
+  for (NodeId v = begin_; v < end_; ++v) {
+    NodeContext ctx(*this, v, sink);
+    agents_[local(v)]->on_round_end(ctx);
+  }
+}
+
+}  // namespace khop

@@ -1,0 +1,435 @@
+/// \file shard_runtime.hpp
+/// Per-shard delivery / agent-dispatch core of the synchronous simulator.
+///
+/// A ShardRuntime owns one contiguous node range [begin, end) of the graph:
+/// the agents of those nodes, their double-buffered payload arenas and lossy
+/// delivery queues, and the ideal-MAC fast-path state (per-sender broadcast
+/// log, per-destination send buckets). It is the extraction of what used to
+/// be the body of SyncEngine (sim/engine.hpp), which is now one full-range
+/// runtime plus the round loop; ShardedEngine (sim/sharded_engine.hpp) runs
+/// S of them over a graph/partition.hpp ShardPlan.
+///
+/// Sharded recording: when a ShardPlan is installed via set_partition, a
+/// recorded send whose receiver lies outside [begin, end) becomes a
+/// BoundaryMsg in the per-destination-shard outbox instead of a local
+/// record; the coordinator exchanges those serially between rounds
+/// (add_remote). With no plan installed (the single-engine case) every
+/// receiver is local and the recording paths are exactly the historical
+/// SyncEngine ones — same structures, same order, bit-identical output.
+///
+/// Thread-safety contract: a runtime instance is single-threaded. Parallel
+/// executors keep runtimes (and their boundary outboxes) disjoint per
+/// worker and route every shared decision — lossy DeliveryModel consults,
+/// cross-shard message insertion — through a serial coordinator phase.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "khop/graph/graph.hpp"
+#include "khop/obs/metrics.hpp"
+#include "khop/sim/message.hpp"
+
+namespace khop {
+
+class NodeContext;
+class ShardPlan;
+class ShardRuntime;
+class ShardedEngine;
+class SyncEngine;
+
+/// Decides the fate of one per-link transmission attempt. The engine calls
+/// attempt() in its deterministic enqueue order (sender processing order,
+/// then ascending-neighbor order for broadcasts), so implementations backed
+/// by a seeded rng make a lossy run a pure function of (topology, protocol,
+/// seed). Concrete radio-driven implementations live in khop/radio/.
+/// Parallel and sharded executors preserve this order: models are only ever
+/// consulted during the serial outbox merge, never from a worker.
+class DeliveryModel {
+ public:
+  virtual ~DeliveryModel() = default;
+
+  /// True iff a single transmission attempt from -> to is delivered.
+  /// Retries call it again, one call per attempt.
+  virtual bool attempt(NodeId from, NodeId to) = 0;
+};
+
+/// Lossy-delivery configuration for a SyncEngine / ShardedEngine.
+struct DeliveryOptions {
+  /// Non-owning; must outlive the engine. nullptr = the paper's ideal MAC
+  /// (the legacy code path, bit-for-bit).
+  DeliveryModel* model = nullptr;
+  /// Extra attempts per dropped per-link delivery (ARQ-style link retries).
+  /// Each retry is recorded in SimStats::retransmissions; a delivery that
+  /// still fails after the budget counts once in SimStats::drops.
+  std::size_t retry_budget = 0;
+};
+
+/// One message crossing a shard cut: recorded by the sending shard at
+/// record time, inserted into the receiving shard's send buckets by the
+/// coordinator's serial exchange. The payload aliases the sending shard's
+/// write-side arena; sides flip in lockstep across shards, so the view
+/// stays valid through the delivery round.
+struct BoundaryMsg {
+  NodeId receiver = kInvalidNode;
+  NodeId sender = kInvalidNode;
+  std::uint16_t type = 0;
+  PayloadView data;
+};
+
+namespace detail {
+/// One recorded local broadcast: the ideal-MAC fast path stores it once per
+/// sender instead of materializing one queue entry per neighbor - the
+/// receiver set is exactly neighbors(sender), so delivery re-derives it.
+struct BcastRec {
+  std::uint16_t type = 0;
+  PayloadView data;
+};
+
+/// One recorded addressed send, bucketed by destination.
+struct SendRec {
+  NodeId sender = kInvalidNode;
+  std::uint16_t type = 0;
+  PayloadView data;
+};
+
+/// One handler-recorded send in a parallel executor. Broadcasts keep
+/// to == kInvalidNode and expand to per-neighbor deliveries at merge time,
+/// in ascending-neighbor order - exactly the serial enqueue sequence.
+struct RawSend {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  std::uint16_t type = 0;
+  PayloadView data;
+};
+
+/// One scheduled lossy delivery: destination + the message it receives.
+struct Routed {
+  NodeId to = kInvalidNode;
+  Message msg;
+};
+
+/// Per-chunk (or per-shard) sink for parallel executors: workers intern
+/// payloads into a chunk-private arena and append RawSends; the owner
+/// replays them (stats, delivery model, recording/queue pushes) serially in
+/// chunk order.
+struct EngineOutbox {
+  PayloadArena arena;
+  std::vector<RawSend> sends;
+  std::size_t receptions = 0;
+  /// Per-worker merge buffer for fast-path delivery (see deliver_fast_to).
+  std::vector<BcastRec> scratch;
+  /// Per-chunk inbox-size samples (telemetry only); merged at the serial
+  /// join after each delivery phase, NOT dropped by reset() — the merge
+  /// happens after the flush has already reset the chunk.
+  obs::LocalHistogram inbox_sizes;
+
+  void reset() noexcept {
+    arena.clear();
+    sends.clear();
+    receptions = 0;
+  }
+};
+
+/// Round-side store for payload arenas adopted from executor outboxes.
+/// Instead of re-interning every replayed payload into the engine arena,
+/// the flush moves the whole chunk arena here (block addresses are stable
+/// under move, so the recorded views stay valid) and hands the chunk a
+/// cleared arena from the pool — steady-state rounds copy each payload
+/// once, at record time, and allocate nothing.
+struct AdoptedArenas {
+  std::vector<PayloadArena> side[2];
+  std::vector<PayloadArena> pool;
+
+  /// Moves \p a into \p s's store and replaces it with a pooled arena.
+  void adopt(PayloadArena& a, unsigned s) {
+    side[s].push_back(std::move(a));
+    if (pool.empty()) {
+      a = PayloadArena{};
+    } else {
+      a = std::move(pool.back());
+      pool.pop_back();
+    }
+  }
+
+  /// Returns side \p s's arenas (whose views are now dead) to the pool.
+  void recycle(unsigned s) {
+    for (PayloadArena& a : side[s]) {
+      a.clear();
+      pool.push_back(std::move(a));
+    }
+    side[s].clear();
+  }
+
+  void reset() {
+    recycle(0);
+    recycle(1);
+  }
+};
+}  // namespace detail
+
+/// Per-node handle the engine passes to agent callbacks.
+class NodeContext {
+ public:
+  NodeId id() const noexcept { return id_; }
+  std::size_t round() const noexcept;
+  std::span<const NodeId> neighbors() const;
+
+  /// Local broadcast: delivered to every neighbor next round. The words are
+  /// copied (interned) before the call returns; the span need only be valid
+  /// for the duration of the call.
+  void broadcast(std::uint16_t type, std::span<const std::int64_t> data);
+  void broadcast(std::uint16_t type, std::initializer_list<std::int64_t> data) {
+    broadcast(type, std::span<const std::int64_t>(data.begin(), data.size()));
+  }
+
+  /// Addressed send to a direct neighbor: delivered next round.
+  /// \pre `to` is a neighbor of this node
+  void send(NodeId to, std::uint16_t type, std::span<const std::int64_t> data);
+  void send(NodeId to, std::uint16_t type,
+            std::initializer_list<std::int64_t> data) {
+    send(to, type, std::span<const std::int64_t>(data.begin(), data.size()));
+  }
+
+ private:
+  friend class ShardRuntime;
+  friend class ShardedEngine;
+  friend class SyncEngine;
+  NodeContext(ShardRuntime& rt, NodeId id,
+              detail::EngineOutbox* sink = nullptr)
+      : rt_(&rt), id_(id), sink_(sink) {}
+  ShardRuntime* rt_;
+  NodeId id_;
+  /// Non-null only under a parallel/deferred executor: sends are recorded
+  /// here and replayed serially instead of touching runtime state.
+  detail::EngineOutbox* sink_;
+};
+
+/// A protocol's per-node state machine.
+class NodeAgent {
+ public:
+  virtual ~NodeAgent() = default;
+
+  /// Round 0: initial sends.
+  virtual void on_start(NodeContext& /*ctx*/) {}
+
+  /// One delivered message (round >= 1).
+  virtual void on_message(NodeContext& ctx, const Message& msg) = 0;
+
+  /// End of every round (round >= 1), after all deliveries of that round.
+  virtual void on_round_end(NodeContext& /*ctx*/) {}
+
+  /// Termination hint: the engine stops when every agent is finished and no
+  /// messages are in flight.
+  virtual bool finished() const { return true; }
+};
+
+/// Creates the agent for one node. Engines retain the factory and call it
+/// again, in ascending node order, to re-create agents on re-entry.
+using AgentFactory = std::function<std::unique_ptr<NodeAgent>(NodeId)>;
+
+/// The per-shard core: agents, arenas, recording buckets and delivery
+/// machinery for one contiguous node range. Owned and driven by SyncEngine
+/// (full range) or ShardedEngine (one per shard); not a standalone engine —
+/// the owner runs the round loop and the serial merge/exchange phases.
+class ShardRuntime {
+ public:
+  ShardRuntime() = default;
+  ShardRuntime(const ShardRuntime&) = delete;
+  ShardRuntime& operator=(const ShardRuntime&) = delete;
+  ShardRuntime(ShardRuntime&&) = default;
+  ShardRuntime& operator=(ShardRuntime&&) = default;
+
+  /// Binds the runtime to nodes [begin, end) of \p g. \p stats is where
+  /// recording and delivery account transmissions / receptions / drops
+  /// (the owner's aggregate for a full-range core, a per-shard block under
+  /// ShardedEngine). \p delivery is used only by the direct lossy path
+  /// (single-engine serial mode); sharded lossy runs defer every model
+  /// consult to the coordinator.
+  void init(const Graph& g, NodeId begin, NodeId end,
+            const DeliveryOptions& delivery, SimStats* stats);
+
+  /// Installs the shard cut: recorded sends to receivers outside the range
+  /// go to boundary_out[plan->shard_of(receiver)] instead of local buckets.
+  /// \p boundary_out must point at plan->num_shards() vectors.
+  void set_partition(const ShardPlan* plan,
+                     std::vector<BoundaryMsg>* boundary_out);
+
+  /// (Re-)creates the range's agents through \p factory, ascending.
+  void create_agents(const AgentFactory& factory);
+
+  /// Clears queues, arenas, recording state and the round counter; keeps
+  /// capacity. Does not touch agents (see create_agents).
+  void reset_state();
+
+  NodeId range_begin() const noexcept { return begin_; }
+  NodeId range_end() const noexcept { return end_; }
+  std::size_t size() const noexcept { return end_ - begin_; }
+  bool in_range(NodeId v) const noexcept { return v - begin_ < size(); }
+
+  NodeAgent& agent(NodeId v);
+  const NodeAgent& agent(NodeId v) const;
+
+  /// True iff nothing is scheduled for delivery next round.
+  bool write_side_empty() const noexcept {
+    return queues_[write_].empty() && bcast_senders_[write_].empty() &&
+           send_dests_[write_].empty();
+  }
+
+  /// True iff every local agent reports finished().
+  bool agents_finished() const;
+
+  /// Starts round \p round: flips the double buffers and clears the new
+  /// write side (capacity retained). Returns the side to read, i.e. the
+  /// side the previous round recorded into. Owners of multiple runtimes
+  /// must call this on every one before any delivery (the sides flip in
+  /// lockstep, which is what keeps cross-shard payload views alive through
+  /// their delivery round).
+  unsigned begin_round(std::size_t round);
+
+  /// Inserts one boundary message from another shard into this shard's
+  /// write-side send buckets. Serial coordinator phases only. Stats were
+  /// already accounted by the sending shard at record time.
+  void add_remote(const BoundaryMsg& m);
+
+ private:
+  friend class NodeContext;
+  friend class ShardedEngine;
+  friend class SyncEngine;
+
+  NodeId local(NodeId v) const noexcept { return v - begin_; }
+  bool ideal() const noexcept { return delivery_.model == nullptr; }
+
+  /// Fast-path recording (ideal MAC): stats + intern + per-sender /
+  /// per-destination bucket append; out-of-range receivers become
+  /// BoundaryMsg records. The *_adopted variants take a payload that
+  /// already lives in an adopted arena and skip the intern.
+  void record_broadcast(NodeId from, std::uint16_t type,
+                        std::span<const std::int64_t> data);
+  void record_send(NodeId from, NodeId to, std::uint16_t type,
+                   std::span<const std::int64_t> data);
+  void record_broadcast_adopted(NodeId from, std::uint16_t type,
+                                PayloadView payload);
+  void record_send_adopted(NodeId from, NodeId to, std::uint16_t type,
+                           PayloadView payload);
+
+  /// Direct lossy recording (single-engine serial mode): stats + intern +
+  /// immediate per-link model consults. Requires no partition installed.
+  void lossy_broadcast(NodeId from, std::uint16_t type,
+                       std::span<const std::int64_t> data);
+  void lossy_send(NodeId from, NodeId to, std::uint16_t type,
+                  std::span<const std::int64_t> data);
+
+  /// Runs the per-link delivery model (drops/retries) and, if delivered,
+  /// schedules \p data (already interned/adopted) for local receiver \p to.
+  void enqueue_direct(NodeId from, NodeId to, std::uint16_t type,
+                      PayloadView data);
+
+  /// Schedules an already-delivered message (model consulted by the
+  /// coordinator) for local receiver \p to next round.
+  void push_delivered(NodeId to, const Message& msg) {
+    queues_[write_].push_back(detail::Routed{to, msg});
+  }
+
+  /// Shared tail of every broadcast/send record path.
+  void record_broadcast_rec(NodeId from, std::uint16_t type,
+                            PayloadView payload);
+  void record_send_rec(NodeId from, NodeId to, std::uint16_t type,
+                       PayloadView payload);
+
+  /// Sorts side \p read's records and builds dests_ (ascending in-range
+  /// receiver set: every broadcaster's local neighborhood plus every send
+  /// destination, including remote insertions).
+  void prepare_fast_round(unsigned read);
+
+  /// Read-side destinations, valid after prepare_fast_round.
+  std::span<const NodeId> fast_dests() const noexcept { return dests_; }
+
+  /// Delivers side \p read's messages to \p d in canonical order: senders
+  /// ascending (d's adjacency), each sender's broadcasts merged with its
+  /// addressed sends by (type, payload).
+  void deliver_fast_to(NodeId d, unsigned read, NodeContext& ctx,
+                       std::size_t& receptions,
+                       std::vector<detail::BcastRec>& scratch);
+
+  /// Serial ideal delivery of side \p read to every local destination,
+  /// accounting receptions into stats_ and inbox sizes into \p hist.
+  /// \p sink routes handler sends through an outbox (sharded lossy-free
+  /// shards pass nullptr and record directly).
+  void deliver_fast_all(unsigned read, obs::LocalHistogram* hist,
+                        detail::EngineOutbox* sink = nullptr);
+
+  /// O(dirty) reset of side \p side's fast-path buckets.
+  void clear_fast_side(unsigned side) noexcept;
+
+  /// Buckets side \p read's materialized queue by destination into
+  /// scratch_ / dests_ / spans_.
+  void partition_inbox(unsigned read);
+
+  std::size_t num_buckets() const noexcept { return dests_.size(); }
+  NodeId bucket_dest(std::size_t b) const noexcept { return dests_[b]; }
+  std::size_t bucket_size(std::size_t b) const noexcept {
+    return spans_[b + 1] - spans_[b];
+  }
+
+  /// Sorts bucket \p b by (sender, type, payload) and delivers it through
+  /// \p ctx, counting into \p receptions.
+  void deliver_bucket(std::size_t b, NodeContext& ctx,
+                      std::size_t& receptions);
+
+  /// Serial lossy delivery of every bucket (partition_inbox first).
+  void deliver_lossy_all(obs::LocalHistogram* hist,
+                         detail::EngineOutbox* sink = nullptr);
+
+  /// Ascending on_start / on_round_end sweeps over the local range.
+  void run_on_start(detail::EngineOutbox* sink);
+  void run_on_round_end(detail::EngineOutbox* sink);
+
+  const Graph* graph_ = nullptr;
+  NodeId begin_ = 0;
+  NodeId end_ = 0;
+  DeliveryOptions delivery_;
+  SimStats* stats_ = nullptr;
+  const ShardPlan* plan_ = nullptr;
+  std::vector<BoundaryMsg>* boundary_out_ = nullptr;
+
+  std::vector<std::unique_ptr<NodeAgent>> agents_;  ///< local index
+  /// Lossy-path state: double-buffered materialized delivery queues,
+  /// indexed by write_. Ideal-MAC rounds leave these empty.
+  std::vector<detail::Routed> queues_[2];
+  /// Payload arenas, double-buffered by delivery round (both paths).
+  PayloadArena arenas_[2];
+  unsigned write_ = 0;
+  std::size_t round_ = 0;
+
+  /// Ideal-MAC fast-path state, double-buffered like queues_: a broadcast
+  /// is recorded ONCE under its sender, addressed sends are bucketed by
+  /// destination, and delivery walks each receiver's neighbor list (see
+  /// sim/engine.hpp round-loop notes). Buckets and counters are indexed by
+  /// LOCAL id (v - begin_); the dirty lists hold global ids.
+  std::vector<detail::SendRec> bcast_log_[2];  ///< append order, per side
+  std::vector<NodeId> bcast_senders_[2];       ///< dirty senders (global)
+  std::vector<std::uint32_t> rec_count_[2];    ///< per-sender log counts
+  std::vector<std::uint32_t> rec_begin_;       ///< read-side range starts
+  std::vector<std::uint32_t> rec_cursor_;      ///< scatter cursors
+  std::vector<detail::BcastRec> flat_recs_;    ///< read side, sender-grouped
+  std::vector<std::vector<detail::SendRec>> sends_[2];  ///< per destination
+  std::vector<NodeId> send_dests_[2];          ///< dirty dests (global)
+  std::vector<std::uint32_t> dest_stamp_;      ///< receiver-set dedup marks
+  std::uint32_t dest_epoch_ = 0;
+  std::vector<detail::BcastRec> merge_scratch_;  ///< serial merge buffer
+
+  /// Lossy-path receiver-batching scratch, persistent across rounds
+  /// (capacity only grows). inbox_pos_ doubles as per-destination count,
+  /// then scatter cursor; it is returned to all-zero after every partition.
+  std::vector<detail::Routed> scratch_;  ///< destination-bucketed inbox
+  std::vector<std::size_t> inbox_pos_;   ///< per-destination count/cursor
+  std::vector<NodeId> dests_;            ///< distinct destinations, ascending
+  std::vector<std::size_t> spans_;  ///< bucket b = scratch_[spans_[b]..[b+1])
+};
+
+}  // namespace khop

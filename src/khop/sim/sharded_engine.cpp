@@ -1,0 +1,283 @@
+#include "khop/sim/sharded_engine.hpp"
+
+#include <utility>
+
+#include "khop/common/assert.hpp"
+#include "khop/obs/trace.hpp"
+#include "khop/runtime/thread_pool.hpp"
+
+namespace khop {
+
+ShardedEngine::ShardedEngine(const Graph& g, const AgentFactory& factory,
+                             std::size_t num_shards,
+                             const DeliveryOptions& delivery)
+    : graph_(&g),
+      delivery_(delivery),
+      factory_(factory),
+      plan_(g, num_shards),
+      shards_(num_shards) {
+  KHOP_REQUIRE(static_cast<bool>(factory_), "agent factory required");
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    Shard& sh = shards_[s];
+    const ShardRange& r = plan_.shard(s);
+    sh.outbound.resize(num_shards);
+    sh.rt.init(g, r.begin, r.end, delivery_, &sh.stats);
+    sh.rt.set_partition(&plan_, sh.outbound.data());
+    sh.rt.create_agents(factory_);
+  }
+}
+
+NodeAgent& ShardedEngine::agent(NodeId v) {
+  KHOP_REQUIRE(v < graph_->num_nodes(), "node out of range");
+  return shards_[plan_.shard_of(v)].rt.agent(v);
+}
+
+const NodeAgent& ShardedEngine::agent(NodeId v) const {
+  KHOP_REQUIRE(v < graph_->num_nodes(), "node out of range");
+  return shards_[plan_.shard_of(v)].rt.agent(v);
+}
+
+bool ShardedEngine::all_quiet() const {
+  for (const Shard& sh : shards_) {
+    if (!sh.rt.write_side_empty() || !sh.rt.agents_finished()) return false;
+  }
+  return true;
+}
+
+void ShardedEngine::reset_for_run() {
+  if (ran_) {
+    // Ascending shard order = ascending global node order: the factory sees
+    // the same re-creation sequence as SyncEngine's reuse contract.
+    for (Shard& sh : shards_) sh.rt.create_agents(factory_);
+  }
+  ran_ = true;
+  round_ = 0;
+  write_side_ = 0;
+  stats_ = SimStats{};
+  for (Shard& sh : shards_) {
+    sh.stats = SimStats{};
+    sh.rt.reset_state();
+    for (std::vector<BoundaryMsg>& v : sh.outbound) v.clear();
+    sh.outbox.reset();
+    sh.outbox.inbox_sizes.clear();
+    sh.inbox_sizes.clear();
+  }
+  adopted_.reset();
+}
+
+void ShardedEngine::attempt_deliver(NodeId from, NodeId to, std::uint16_t type,
+                                    PayloadView data) {
+  if (delivery_.model != nullptr) {
+    bool delivered = delivery_.model->attempt(from, to);
+    for (std::size_t retry = 0; !delivered && retry < delivery_.retry_budget;
+         ++retry) {
+      ++stats_.retransmissions;
+      delivered = delivery_.model->attempt(from, to);
+    }
+    if (!delivered) {
+      ++stats_.drops;
+      return;
+    }
+  }
+  shards_[plan_.shard_of(to)].rt.push_delivered(to, Message{from, type, data});
+}
+
+void ShardedEngine::flush_lossy() {
+  // Ascending shard order, and within each shard the outbox preserves the
+  // ascending-destination processing order of the parallel phase - so the
+  // DeliveryModel sees the exact consultation sequence of the serial
+  // single-shard engine (broadcasts expand per ascending neighbor).
+  for (Shard& sh : shards_) {
+    for (const detail::RawSend& raw : sh.outbox.sends) {
+      stats_.note_transmission(raw.data.size());
+      if (raw.to == kInvalidNode) {
+        for (NodeId v : graph_->neighbors(raw.from)) {
+          attempt_deliver(raw.from, v, raw.type, raw.data);
+        }
+      } else {
+        attempt_deliver(raw.from, raw.to, raw.type, raw.data);
+      }
+    }
+    // Delivered views alias this outbox's arena: move it into the current
+    // write side's store (addresses stable under move); it is recycled when
+    // that side next becomes the write side, i.e. after its delivery round.
+    if (sh.outbox.arena.num_blocks() > 0) {
+      adopted_.adopt(sh.outbox.arena, write_side_);
+    }
+    sh.outbox.reset();
+  }
+}
+
+void ShardedEngine::exchange(obs::LocalHistogram* boundary_local) {
+  obs::Span span("sharded/exchange");
+  const std::size_t S = shards_.size();
+  if (boundary_local != nullptr) {
+    for (Shard& sh : shards_) {
+      std::size_t sent = 0;
+      for (const std::vector<BoundaryMsg>& box : sh.outbound) {
+        sent += box.size();
+      }
+      boundary_local->record(sent);
+    }
+  }
+  // Insertion order across shards is irrelevant to the result (every
+  // receiver's bucket is sorted into (sender, type, payload) order before
+  // delivery); dst-major iteration just keeps the drain deterministic.
+  for (std::size_t dst = 0; dst < S; ++dst) {
+    ShardRuntime& rt = shards_[dst].rt;
+    for (std::size_t src = 0; src < S; ++src) {
+      std::vector<BoundaryMsg>& box = shards_[src].outbound[dst];
+      for (const BoundaryMsg& m : box) rt.add_remote(m);
+      box.clear();
+    }
+  }
+}
+
+bool ShardedEngine::run(std::size_t max_rounds) {
+  return run_impl(max_rounds, nullptr);
+}
+
+bool ShardedEngine::run(std::size_t max_rounds, ThreadPool& pool) {
+  return run_impl(max_rounds, &pool);
+}
+
+bool ShardedEngine::run_impl(std::size_t max_rounds, ThreadPool* pool) {
+  reset_for_run();
+
+  obs::Span run_span("sharded/run");
+  const bool tel = obs::enabled();
+  obs::Histogram* inbox_hist =
+      tel ? &obs::Registry::global().histogram("engine.inbox_size") : nullptr;
+  obs::Histogram* boundary_hist =
+      tel ? &obs::Registry::global().histogram("shard.boundary_msgs")
+          : nullptr;
+  obs::LocalHistogram boundary_local;
+  obs::LocalHistogram* const boundary_sink =
+      boundary_hist != nullptr ? &boundary_local : nullptr;
+
+  const bool lossy = delivery_.model != nullptr;
+  const std::size_t S = shards_.size();
+
+  // One body invocation per shard, concurrent when a pool is given. Each
+  // shard is touched by exactly one worker per phase; runtimes, outbound
+  // boxes and outboxes are shard-private, so phases share nothing mutable.
+  const auto shard_phase = [&](auto&& body) {
+    if (pool == nullptr || S == 1) {
+      for (std::size_t s = 0; s < S; ++s) body(s);
+      return;
+    }
+    parallel_for_throwing(*pool, S, [&](std::size_t s) {
+      obs::Span span("sharded/shard");
+      span.arg("shard", static_cast<std::int64_t>(s));
+      body(s);
+    });
+  };
+
+  // Live totals across the coordinator and every shard block (the per-shard
+  // stats are only folded into stats_ once, at end of run).
+  const auto totals = [&] {
+    std::size_t rx = stats_.receptions;
+    std::size_t tx = stats_.transmissions;
+    for (const Shard& sh : shards_) {
+      rx += sh.stats.receptions;
+      tx += sh.stats.transmissions;
+    }
+    return std::pair<std::size_t, std::size_t>(rx, tx);
+  };
+
+  if (!lossy) {
+    // Ideal MAC: agents record straight into their shard runtime; boundary
+    // sends land in the outbound boxes and are exchanged serially.
+    shard_phase([&](std::size_t s) { shards_[s].rt.run_on_start(nullptr); });
+    exchange(boundary_sink);
+  } else {
+    // Lossy: every send defers through the shard outbox so the model is
+    // consulted only in the serial flush, in global node order.
+    shard_phase(
+        [&](std::size_t s) { shards_[s].rt.run_on_start(&shards_[s].outbox); });
+    flush_lossy();
+  }
+
+  bool quiesced = false;
+  while (round_ < max_rounds) {
+    if (all_quiet()) {
+      quiesced = true;
+      break;
+    }
+
+    ++round_;
+    ++stats_.rounds;
+    obs::Span round_span("sharded/round");
+    const auto [rx0, tx0] = totals();
+
+    // Lockstep flip: every runtime swaps its double buffers before any
+    // delivery, which is what keeps cross-shard payload views (aliasing the
+    // sender's previous write side) valid through this round.
+    unsigned read = 0;
+    for (Shard& sh : shards_) read = sh.rt.begin_round(round_);
+    write_side_ = read ^ 1u;
+    adopted_.recycle(write_side_);
+
+    if (!lossy) {
+      // Delivery and round-end fuse into one shard phase: agents never read
+      // other nodes' state, every shard's records keep their in-shard
+      // relative order, and receiver buckets are sorted before delivery -
+      // so the fused phase is bit-identical to SyncEngine's two phases.
+      shard_phase([&](std::size_t s) {
+        Shard& sh = shards_[s];
+        sh.rt.prepare_fast_round(read);
+        sh.rt.deliver_fast_all(
+            read, inbox_hist != nullptr ? &sh.inbox_sizes : nullptr);
+        sh.rt.run_on_round_end(nullptr);
+      });
+      exchange(boundary_sink);
+    } else {
+      // Lossy phases cannot fuse: the model must see every delivery-phase
+      // send before any round-end send, exactly like the serial engine.
+      shard_phase([&](std::size_t s) {
+        Shard& sh = shards_[s];
+        sh.rt.partition_inbox(read);
+        sh.rt.deliver_lossy_all(
+            inbox_hist != nullptr ? &sh.inbox_sizes : nullptr, &sh.outbox);
+      });
+      flush_lossy();
+      shard_phase([&](std::size_t s) {
+        shards_[s].rt.run_on_round_end(&shards_[s].outbox);
+      });
+      flush_lossy();
+    }
+
+    const auto [rx1, tx1] = totals();
+    round_span.arg("delivered", static_cast<std::int64_t>(rx1 - rx0));
+    round_span.arg("sent", static_cast<std::int64_t>(tx1 - tx0));
+  }
+
+  const bool done = quiesced || all_quiet();
+
+  // Fold the per-shard accounting into the engine aggregate (rounds and the
+  // lossy-path tx/drops/retransmissions already live in stats_).
+  for (const Shard& sh : shards_) {
+    stats_.transmissions += sh.stats.transmissions;
+    stats_.receptions += sh.stats.receptions;
+    stats_.payload_words += sh.stats.payload_words;
+    stats_.drops += sh.stats.drops;
+    stats_.retransmissions += sh.stats.retransmissions;
+  }
+
+  if (inbox_hist != nullptr) {
+    obs::LocalHistogram inbox_local;
+    for (Shard& sh : shards_) inbox_local.merge(sh.inbox_sizes);
+    inbox_local.flush(*inbox_hist);
+  }
+  if (boundary_hist != nullptr) boundary_local.flush(*boundary_hist);
+  if (tel) stats_.publish();
+  run_span.arg("shards", static_cast<std::int64_t>(S));
+  run_span.arg("rounds", static_cast<std::int64_t>(stats_.rounds));
+  run_span.arg("transmissions",
+               static_cast<std::int64_t>(stats_.transmissions));
+  run_span.arg("receptions", static_cast<std::int64_t>(stats_.receptions));
+  run_span.arg("quiesced", done ? 1 : 0);
+  return done;
+}
+
+}  // namespace khop

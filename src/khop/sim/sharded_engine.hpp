@@ -1,0 +1,124 @@
+/// \file sharded_engine.hpp
+/// Multi-shard synchronous round loop over a spatial partition.
+///
+/// ShardedEngine runs S ShardRuntimes (sim/shard_runtime.hpp), one per
+/// contiguous range of a graph/partition.hpp ShardPlan, with the round
+/// structure:
+///
+///   parallel shard step  ->  serial boundary exchange  ->  next round
+///
+/// During the shard step every runtime delivers its own inboxes and runs its
+/// agents; a recorded send whose receiver lies in another shard becomes a
+/// BoundaryMsg in the per-(src,dst)-shard outbox. The serial exchange then
+/// inserts those into the receiving shards' buckets. Determinism does not
+/// depend on exchange arrival order: every receiver's inbox is sorted into
+/// the canonical (sender, type, payload) order before delivery, so the
+/// sharded engine's traces, stats and discovery results are bit-identical
+/// to the single-shard SyncEngine for any shard count and any thread count
+/// (enforced by tests/test_engine_equivalence.cpp against the preserved
+/// sim/reference.hpp oracle).
+///
+/// Lossy delivery mirrors the PR 5 parallel-merge discipline: during the
+/// shard step handlers record RawSends into per-shard outboxes (never
+/// touching the DeliveryModel), and the coordinator replays them serially
+/// in ascending shard order - which is ascending global node order, the
+/// exact serial consultation sequence.
+///
+/// Payload lifetime across the cut: a BoundaryMsg's payload aliases the
+/// sending shard's write-side arena. All runtimes flip their double buffers
+/// in lockstep (begin_round), so a payload recorded in round r is read by
+/// the receiving shard in round r+1 and its arena side is cleared only at
+/// round r+2 - exactly the window the view is needed for.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "khop/graph/graph.hpp"
+#include "khop/graph/partition.hpp"
+#include "khop/obs/metrics.hpp"
+#include "khop/sim/message.hpp"
+#include "khop/sim/shard_runtime.hpp"
+
+namespace khop {
+
+class ThreadPool;
+
+/// Coordinator for S per-shard runtimes. Public surface mirrors SyncEngine;
+/// the reuse contract (run() restarts from scratch, agents re-created from
+/// the factory in ascending node order) is identical.
+class ShardedEngine {
+ public:
+  using AgentFactory = khop::AgentFactory;
+
+  /// Partitions \p g into \p num_shards contiguous ranges and builds one
+  /// runtime per shard. \p delivery configures lossy links (the model is
+  /// only ever consulted by the serial coordinator phases).
+  ShardedEngine(const Graph& g, const AgentFactory& factory,
+                std::size_t num_shards, const DeliveryOptions& delivery = {});
+
+  /// Runs until quiescence (all agents finished, nothing in flight in any
+  /// shard) or \p max_rounds. Returns true iff it reached quiescence.
+  bool run(std::size_t max_rounds);
+
+  /// Parallel shard executor: shards step concurrently, coordinator phases
+  /// stay serial. Bit-identical to the serial overload for any thread count.
+  bool run(std::size_t max_rounds, ThreadPool& pool);
+
+  const SimStats& stats() const noexcept { return stats_; }
+  std::size_t round() const noexcept { return round_; }
+
+  NodeAgent& agent(NodeId v);
+  const NodeAgent& agent(NodeId v) const;
+
+  const Graph& graph() const noexcept { return *graph_; }
+  const ShardPlan& plan() const noexcept { return plan_; }
+  std::size_t num_shards() const noexcept { return shards_.size(); }
+
+ private:
+  /// One shard's runtime plus its coordinator-side books. shards_ is sized
+  /// once at construction and never resized: each runtime holds a pointer
+  /// to its shard's stats block.
+  struct Shard {
+    ShardRuntime rt;
+    SimStats stats;  ///< per-shard tx/rx accounting, folded at end of run
+    /// Boundary traffic recorded this phase, one vector per dst shard.
+    std::vector<std::vector<BoundaryMsg>> outbound;
+    /// Lossy-mode sink: handler sends recorded here, replayed serially.
+    detail::EngineOutbox outbox;
+    obs::LocalHistogram inbox_sizes;  ///< telemetry, merged at end of run
+  };
+
+  const Graph* graph_;
+  DeliveryOptions delivery_;
+  AgentFactory factory_;
+  ShardPlan plan_;
+  std::vector<Shard> shards_;
+  detail::AdoptedArenas adopted_;  ///< lossy-mode outbox arenas, per side
+  std::size_t round_ = 0;
+  unsigned write_side_ = 0;  ///< runtimes' current write side (lockstep)
+  SimStats stats_;
+  bool ran_ = false;
+
+  bool all_quiet() const;
+  void reset_for_run();
+
+  /// Runs the per-link delivery model for one replayed send and, if
+  /// delivered, schedules it on the owning shard's write side.
+  void attempt_deliver(NodeId from, NodeId to, std::uint16_t type,
+                       PayloadView data);
+
+  /// Serial replay of every shard's lossy outbox in ascending shard order
+  /// (= ascending global node order): stats, model consults, insertion.
+  void flush_lossy();
+
+  /// Serial boundary exchange: drains every (src, dst) outbox into the
+  /// receiving shards' write-side buckets. \p boundary_local samples the
+  /// per-shard sent count when telemetry is on.
+  void exchange(obs::LocalHistogram* boundary_local);
+
+  /// Shared round loop; pool == nullptr steps shards serially.
+  bool run_impl(std::size_t max_rounds, ThreadPool* pool);
+};
+
+}  // namespace khop
